@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Figure 11 — Coroutine controller overhead breakdown.
+ *
+ * Reproduces the logic-analyzer experiment: a single-LUN READ
+ * (Algorithm 2) on a 1 GHz ARM, for the RTOS and coroutine stacks. The
+ * bus trace plays the role of the Keysight 16862A: it shows the READ
+ * command/address latch, the READ STATUS polling cycles, and the
+ * CHANGE READ COLUMN transfer, with the polling period and the
+ * completion-detection delay measured from the same events the paper's
+ * probes saw.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace babol;
+using namespace babol::bench;
+
+namespace {
+
+struct PollingReport
+{
+    double meanPeriodUs = 0;
+    double minPeriodUs = 0;
+    double maxPeriodUs = 0;
+    std::size_t polls = 0;
+    double detectionDelayUs = 0;
+    double opLatencyUs = 0;
+    std::string timeline;
+};
+
+PollingReport
+measure(const std::string &flavor)
+{
+    EventQueue eq;
+    ChannelConfig cfg;
+    cfg.package = nand::hynixPackage();
+    cfg.chips = 1;
+    cfg.seed = 23;
+    ChannelSystem sys(eq, "ssd", cfg);
+    auto ctrl = makeController(flavor, eq, sys, 1000);
+
+    preconditionChannel(eq, sys, *ctrl, 1);
+
+    sys.bus().trace().setEnabled(true);
+    sys.bus().trace().clear();
+
+    FlashRequest read;
+    read.kind = FlashOpKind::Read;
+    read.row = {0, 0, 0};
+    read.dramAddr = 1 << 20;
+
+    // Capture the instant the array actually turned ready (the paper
+    // reads this off the R/B# probe).
+    Tick array_ready = 0;
+    OpResult result;
+    {
+        bool done = false;
+        read.onComplete = [&](OpResult r) {
+            result = r;
+            done = true;
+        };
+        ctrl->submit(std::move(read));
+        // Step manually so we can sample busyUntil after the confirm.
+        while (!done && eq.step()) {
+            Tick until = sys.lun(0).busyUntil();
+            if (until > 0 && array_ready == 0 &&
+                sys.lun(0).busyOp() == nand::ArrayOp::Read) {
+                array_ready = until;
+            }
+        }
+        babol_assert(done, "read never completed");
+    }
+
+    PollingReport report;
+    report.opLatencyUs = ticks::toUs(result.latency());
+    report.timeline = sys.bus().trace().renderTimeline();
+
+    std::vector<Tick> periods = sys.bus().trace().periodsOf("READ_STATUS");
+    report.polls = sys.bus().trace().find("READ_STATUS").size();
+    if (!periods.empty()) {
+        Tick min = periods.front(), max = periods.front(), sum = 0;
+        for (Tick p : periods) {
+            min = std::min(min, p);
+            max = std::max(max, p);
+            sum += p;
+        }
+        report.meanPeriodUs = ticks::toUs(sum) / periods.size();
+        report.minPeriodUs = ticks::toUs(min);
+        report.maxPeriodUs = ticks::toUs(max);
+    }
+
+    // Detection delay: from the array turning ready to the start of the
+    // transfer segment.
+    auto xfer = sys.bus().trace().find("READ.xfer");
+    if (!xfer.empty() && array_ready > 0 &&
+        xfer.front().start > array_ready) {
+        report.detectionDelayUs =
+            ticks::toUs(xfer.front().start - array_ready);
+    }
+    return report;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "FIGURE 11: READ OPERATION TIMELINE, RTOS vs COROUTINE "
+                 "(1 GHz ARM, 1 LUN)\n\n";
+
+    Table table({"Stack", "Polls", "Poll period (us)", "min/max (us)",
+                 "Detect delay (us)", "Op latency (us)"});
+
+    PollingReport rtos = measure("rtos");
+    PollingReport coro = measure("coro");
+
+    table.addRow({"RTOS", strfmt("%zu", rtos.polls),
+                  Table::num(rtos.meanPeriodUs, 1),
+                  strfmt("%.1f / %.1f", rtos.minPeriodUs,
+                         rtos.maxPeriodUs),
+                  Table::num(rtos.detectionDelayUs, 1),
+                  Table::num(rtos.opLatencyUs, 1)});
+    table.addRow({"Coroutine", strfmt("%zu", coro.polls),
+                  Table::num(coro.meanPeriodUs, 1),
+                  strfmt("%.1f / %.1f", coro.minPeriodUs,
+                         coro.maxPeriodUs),
+                  Table::num(coro.detectionDelayUs, 1),
+                  Table::num(coro.opLatencyUs, 1)});
+    table.print(std::cout);
+
+    std::cout << "\nPaper anchor: the coroutine stack takes on the order "
+                 "of 30 us per polling cycle;\nthe RTOS stack polls at a "
+                 "markedly higher frequency.\n";
+
+    std::cout << "\n--- Logic-analyzer view (RTOS) ---\n"
+              << rtos.timeline;
+    std::cout << "\n--- Logic-analyzer view (Coroutine) ---\n"
+              << coro.timeline;
+    return 0;
+}

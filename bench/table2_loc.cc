@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Table II — Lines of code per operation.
+ *
+ * Counts the actual lines of this repository's operation
+ * implementations between LOC markers: the BABOL coroutine ops
+ * (Algorithms 1–3 style), the BABOL RTOS ops (explicit state
+ * machines), and our Verilog-transliterated hardware FSMs. The paper's
+ * published counts for the two hardware controllers are shown as the
+ * reference points. The shape to reproduce: hardware encodings cost
+ * hundreds of lines per operation, BABOL tens.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "sim/logging.hh"
+#include "sim/table.hh"
+
+using namespace babol;
+
+namespace {
+
+/** Non-blank lines between "// LOC:BEGIN tag" and "// LOC:END tag". */
+int
+countLoc(const std::string &path, const std::string &tag)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open %s", path.c_str());
+    std::string begin = "// LOC:BEGIN " + tag;
+    std::string end = "// LOC:END " + tag;
+    bool active = false;
+    int count = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find(begin) != std::string::npos) {
+            active = true;
+            continue;
+        }
+        if (line.find(end) != std::string::npos)
+            break;
+        if (!active)
+            continue;
+        // Count non-blank lines, as the paper does for its LoC figures.
+        if (line.find_first_not_of(" \t\r") != std::string::npos)
+            ++count;
+    }
+    babol_assert(active, "marker '%s' not found in %s", tag.c_str(),
+                 path.c_str());
+    return count;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::string src = BABOL_SOURCE_DIR;
+    const std::string coro_ops = src + "/src/core/coro/ops.cc";
+    const std::string rtos_ops = src + "/src/core/rtos_env/rtos_ops.cc";
+    const std::string hw_ops = src + "/src/core/hw/hw_ops.cc";
+
+    std::cout << "TABLE II: LINES OF CODE PER OPERATION\n"
+              << "(paper columns are the published reference; 'ours' are "
+                 "measured from this repo)\n\n";
+
+    Table table({"Operation", "Sync HW [50] (paper)",
+                 "Async HW [25] (paper)", "HW FSM (ours)", "RTOS (ours)",
+                 "BABOL coro (ours)"});
+
+    table.addRow({"READ", "420", "454",
+                  strfmt("%d", countLoc(hw_ops, "HW_READ")),
+                  strfmt("%d", countLoc(rtos_ops, "RTOS_READ")),
+                  strfmt("%d", countLoc(coro_ops, "READ"))});
+    table.addRow({"PROGRAM", "420", "260",
+                  strfmt("%d", countLoc(hw_ops, "HW_PROGRAM")),
+                  strfmt("%d", countLoc(rtos_ops, "RTOS_PROGRAM")),
+                  strfmt("%d", countLoc(coro_ops, "PROGRAM"))});
+    table.addRow({"ERASE", "327", "203",
+                  strfmt("%d", countLoc(hw_ops, "HW_ERASE")),
+                  strfmt("%d", countLoc(rtos_ops, "RTOS_ERASE")),
+                  strfmt("%d", countLoc(coro_ops, "ERASE"))});
+    table.print(std::cout);
+
+    std::cout << "\nPaper BABOL counts: READ 58, PROGRAM 44, ERASE 27.\n"
+              << "Shape to hold: hardware encodings cost several times "
+                 "more lines than BABOL's\nsoftware operations, and the "
+                 "RTOS style sits in between.\n";
+    return 0;
+}

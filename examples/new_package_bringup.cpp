@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Bringing up an unknown package (paper §IV-C).
+ *
+ * The channel starts the way real hardware does: every package in SDR
+ * boot mode, board-level trace skew unknown and different per socket.
+ * The bring-up flow — all BABOL software operations — then:
+ *
+ *   1. resets each chip and checks the ONFI signature,
+ *   2. reads and decodes the parameter page (self-configuration),
+ *   3. negotiates and switches the NV-DDR2 timing mode via
+ *      SET FEATURES, then retargets the controller PHY,
+ *   4. sweeps each chip's sampling phase against a known pattern and
+ *      locks the center of the passing window,
+ *   5. proves the channel works with a full write/read round trip.
+ */
+
+#include <cstdio>
+
+#include "core/calib/calibration.hh"
+#include "core/coro/coro_controller.hh"
+
+using namespace babol;
+using namespace babol::core;
+
+namespace {
+
+template <typename T>
+T
+runOp(EventQueue &eq, CoroController &ctrl, Op<T> op)
+{
+    bool done = false;
+    op.setOnDone([&] { done = true; });
+    ctrl.runtime().startOp(op.handle());
+    eq.run();
+    if (!done)
+        fatal("bring-up op never completed");
+    return std::move(op.result());
+}
+
+} // namespace
+
+int
+main()
+{
+    EventQueue eq;
+    ChannelConfig cfg;
+    cfg.package = nand::toshibaPackage();
+    cfg.chips = 4;
+    cfg.rateMT = 200;
+    cfg.bootstrapped = false; // SDR boot state, as on real hardware
+    ChannelSystem sys(eq, "ssd", cfg);
+
+    // Board reality: each socket's traces skew the data eye differently.
+    Rng rng(0xB0A7D);
+    for (std::uint32_t chip = 0; chip < cfg.chips; ++chip) {
+        Tick skew = rng.uniform(0, 3 * ticks::perNs);
+        sys.bus().setPhaseSkew(chip, skew);
+        std::printf("chip %u: board skew %.2f ns (unknown to the "
+                    "controller)\n",
+                    chip, ticks::toNs(skew));
+    }
+
+    CoroController ctrl(eq, "ctrl", sys);
+    OpEnv &env = ctrl.env();
+
+    std::printf("\n-- bring-up: SDR identify, DDR switch, phase "
+                "calibration --\n");
+    std::vector<BringUpReport> reports =
+        runOp(eq, ctrl, bringUpChannelOp(env, 200));
+
+    for (std::uint32_t chip = 0; chip < reports.size(); ++chip) {
+        const BringUpReport &r = reports[chip];
+        std::printf("chip %u: %-28s  onfi=%s  %u MT/s  phase adj "
+                    "%.2f ns  lock=%s\n",
+                    chip, r.params.partName.c_str(),
+                    r.onfiSignatureOk ? "ok" : "BAD",
+                    r.negotiatedMT, ticks::toNs(r.phaseAdjust),
+                    r.phaseLocked ? "yes" : "NO");
+        if (chip == 0) {
+            std::printf("        parameter page: %u B pages, %u "
+                        "pages/block, %u blocks/plane, %u planes, "
+                        "tR %.0f us\n",
+                        r.params.geometry.pageDataBytes,
+                        r.params.geometry.pagesPerBlock,
+                        r.params.geometry.blocksPerPlane,
+                        r.params.geometry.planesPerLun,
+                        ticks::toUs(r.params.tR));
+        }
+    }
+
+    // Prove the calibrated channel carries data end to end.
+    std::printf("\n-- post-bring-up round trip --\n");
+    std::vector<std::uint8_t> payload(sys.pageDataBytes(), 0x42);
+    sys.dram().write(0, payload);
+
+    auto run_req = [&](FlashRequest req) {
+        OpResult out;
+        req.onComplete = [&](OpResult r) { out = r; };
+        ctrl.submit(std::move(req));
+        eq.run();
+        return out;
+    };
+
+    FlashRequest erase;
+    erase.kind = FlashOpKind::Erase;
+    erase.chip = 3;
+    erase.row = {0, 1, 0};
+    if (!run_req(erase).ok)
+        fatal("erase failed");
+    FlashRequest prog;
+    prog.kind = FlashOpKind::Program;
+    prog.chip = 3;
+    prog.row = {0, 1, 0};
+    prog.dramAddr = 0;
+    if (!run_req(prog).ok)
+        fatal("program failed");
+    FlashRequest read;
+    read.kind = FlashOpKind::Read;
+    read.chip = 3;
+    read.row = {0, 1, 0};
+    read.dramAddr = 1 << 20;
+    if (!run_req(read).ok)
+        fatal("read failed");
+
+    std::vector<std::uint8_t> got(sys.pageDataBytes());
+    sys.dram().read(1 << 20, got);
+    std::printf("round trip on calibrated chip 3: %s\n",
+                got == payload ? "byte-exact" : "MISMATCH");
+
+    std::printf("\nTotal bring-up took %.2f ms of device time — and "
+                "zero lines of Verilog.\n",
+                ticks::toMs(eq.now()));
+    return 0;
+}

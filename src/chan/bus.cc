@@ -1,0 +1,199 @@
+#include "bus.hh"
+
+#include <memory>
+
+namespace babol::chan {
+
+ChannelBus::ChannelBus(EventQueue &eq, const std::string &name,
+                       const nand::TimingParams &timing,
+                       std::uint32_t rate_mt)
+    : SimObject(eq, name), phy_(timing, rate_mt)
+{}
+
+std::uint32_t
+ChannelBus::attach(nand::Package *pkg)
+{
+    babol_assert(packages_.size() < 32, "too many packages on one channel");
+    packages_.push_back(pkg);
+    skew_.push_back(0);
+    adjust_.push_back(0);
+    return static_cast<std::uint32_t>(packages_.size() - 1);
+}
+
+nand::Package &
+ChannelBus::package(std::uint32_t i)
+{
+    babol_assert(i < packages_.size(), "package index %u out of range", i);
+    return *packages_[i];
+}
+
+std::vector<nand::Package *>
+ChannelBus::selected(std::uint32_t ce_mask) const
+{
+    std::vector<nand::Package *> out;
+    for (std::uint32_t i = 0; i < packages_.size(); ++i) {
+        if (ce_mask & (1u << i))
+            out.push_back(packages_[i]);
+    }
+    return out;
+}
+
+void
+ChannelBus::setPhaseSkew(std::uint32_t pkg, Tick skew_ps)
+{
+    babol_assert(pkg < skew_.size(), "package index out of range");
+    skew_[pkg] = skew_ps;
+}
+
+Tick
+ChannelBus::phaseSkew(std::uint32_t pkg) const
+{
+    babol_assert(pkg < skew_.size(), "package index out of range");
+    return skew_[pkg];
+}
+
+void
+ChannelBus::setPhaseAdjust(std::uint32_t pkg, Tick adjust_ps)
+{
+    babol_assert(pkg < adjust_.size(), "package index out of range");
+    adjust_[pkg] = adjust_ps;
+}
+
+Tick
+ChannelBus::phaseAdjust(std::uint32_t pkg) const
+{
+    babol_assert(pkg < adjust_.size(), "package index out of range");
+    return adjust_[pkg];
+}
+
+bool
+ChannelBus::phaseOk(std::uint32_t pkg) const
+{
+    Tick delta = skew_[pkg] > adjust_[pkg] ? skew_[pkg] - adjust_[pkg]
+                                           : adjust_[pkg] - skew_[pkg];
+    return delta <= phy_.phaseWindow();
+}
+
+void
+ChannelBus::checkModeMatch(std::uint32_t ce_mask) const
+{
+    for (nand::Package *pkg : selected(ce_mask)) {
+        if (pkg->dataInterface() != phy_.mode()) {
+            panic("%s: PHY is in %s but %s is configured for %s "
+                  "(bring-up/SET FEATURES mismatch)",
+                  name().c_str(), nand::toString(phy_.mode()),
+                  pkg->name().c_str(),
+                  nand::toString(pkg->dataInterface()));
+        }
+        if (phy_.mode() == nand::DataInterface::Nvddr2 &&
+            pkg->transferMT() != phy_.rateMT()) {
+            panic("%s: PHY runs at %u MT/s but %s is configured for "
+                  "%u MT/s",
+                  name().c_str(), phy_.rateMT(), pkg->name().c_str(),
+                  pkg->transferMT());
+        }
+    }
+}
+
+void
+ChannelBus::issue(Segment seg, std::function<void(SegmentResult)> done)
+{
+    if (busy()) {
+        panic("%s: segment '%s' issued while bus busy until %.3f us "
+              "(double-drive — transaction atomicity violated)",
+              name().c_str(), seg.label.c_str(),
+              ticks::toUs(busyUntil_));
+    }
+
+    const Tick start = curTick();
+    Tick offset = phy_.ceSetup();
+    auto result = std::make_shared<SegmentResult>();
+
+    for (const SegmentItem &item : seg.items) {
+        offset += item.preDelay;
+        switch (item.type) {
+          case nand::CycleType::CmdLatch:
+            for (std::uint8_t cmd : item.out) {
+                offset += phy_.commandCycle();
+                eq_.schedule(start + offset, [this, seg, cmd] {
+                    for (nand::Package *pkg : selected(seg.ceMask))
+                        pkg->commandLatch(cmd);
+                }, "cmd latch");
+            }
+            break;
+          case nand::CycleType::AddrLatch:
+            for (std::uint8_t byte : item.out) {
+                offset += phy_.addressCycle();
+                eq_.schedule(start + offset, [this, seg, byte] {
+                    for (nand::Package *pkg : selected(seg.ceMask))
+                        pkg->addressLatch(byte);
+                }, "addr latch");
+            }
+            break;
+          case nand::CycleType::DataIn: {
+            const Tick burst_start = start + offset;
+            const Tick dur = phy_.dataBurst(item.out.size());
+            offset += dur;
+            dataBytesIn_ += item.out.size();
+            auto bytes = std::make_shared<std::vector<std::uint8_t>>(
+                item.out);
+            eq_.schedule(burst_start, [this, seg] {
+                checkModeMatch(seg.ceMask);
+            }, "data-in mode check");
+            eq_.schedule(burst_start + dur,
+                         [this, seg, bytes, burst_start] {
+                for (nand::Package *pkg : selected(seg.ceMask))
+                    pkg->dataIn(*bytes, burst_start);
+            }, "data-in burst");
+            break;
+          }
+          case nand::CycleType::DataOut: {
+            const Tick burst_start = start + offset;
+            const Tick dur = phy_.dataBurst(item.inCount);
+            offset += dur;
+            dataBytesOut_ += item.inCount;
+            const std::uint32_t count = item.inCount;
+            eq_.schedule(burst_start, [this, seg, result, count,
+                                       burst_start] {
+                checkModeMatch(seg.ceMask);
+                std::vector<nand::Package *> pkgs = selected(seg.ceMask);
+                if (pkgs.size() != 1) {
+                    panic("%s: data-out with %zu chips enabled "
+                          "(segment '%s')",
+                          name().c_str(), pkgs.size(), seg.label.c_str());
+                }
+                std::size_t base = result->dataOut.size();
+                result->dataOut.resize(base + count);
+                std::span<std::uint8_t> dst(result->dataOut.data() + base,
+                                            count);
+                pkgs.front()->dataOut(dst, burst_start);
+
+                // Mis-calibrated sampling phase corrupts the capture.
+                std::uint32_t pkg_idx = 0;
+                for (std::uint32_t i = 0; i < packages_.size(); ++i) {
+                    if (seg.ceMask & (1u << i))
+                        pkg_idx = i;
+                }
+                if (!phaseOk(pkg_idx)) {
+                    for (std::size_t i = 0; i < dst.size(); i += 2)
+                        dst[i] ^= 0xFF;
+                }
+            }, "data-out burst");
+            break;
+          }
+        }
+    }
+
+    offset += seg.postDelay;
+    busyUntil_ = start + offset;
+    busyTicks_ += offset;
+    ++segmentsIssued_;
+
+    trace_.record({start, busyUntil_, seg.ceMask, seg.label});
+
+    eq_.schedule(busyUntil_, [result, done = std::move(done)] {
+        done(std::move(*result));
+    }, "segment complete");
+}
+
+} // namespace babol::chan

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Channel PHY timing model.
+ *
+ * Computes how long each kind of bus activity occupies the shared DQ
+ * wires, given the active ONFI data interface and transfer rate. The
+ * constants fold the intra-cycle waits (tWP/tWH/tCALS/... — the paper's
+ * first timing category) into per-cycle figures, which is exactly the
+ * abstraction level the μFSMs present to software.
+ */
+
+#ifndef BABOL_CHAN_PHY_HH
+#define BABOL_CHAN_PHY_HH
+
+#include <cstdint>
+
+#include "nand/onfi.hh"
+#include "nand/timing.hh"
+#include "sim/types.hh"
+
+namespace babol::chan {
+
+class Phy
+{
+  public:
+    /**
+     * @param timing  cycle-level timing parameters of the attached parts
+     * @param rate_mt NV-DDR2 transfer rate in megatransfers per second
+     */
+    Phy(const nand::TimingParams &timing, std::uint32_t rate_mt)
+        : timing_(timing), rateMT_(rate_mt)
+    {}
+
+    /** Active data interface (SDR at boot; NV-DDR2 after SET FEATURES). */
+    nand::DataInterface mode() const { return mode_; }
+    void setMode(nand::DataInterface m) { mode_ = m; }
+
+    std::uint32_t rateMT() const { return rateMT_; }
+    void setRateMT(std::uint32_t mt) { rateMT_ = mt; }
+
+    /** Duration of one command-latch cycle. */
+    Tick
+    commandCycle() const
+    {
+        return mode_ == nand::DataInterface::Sdr ? timing_.tCmdCycleSdr
+                                                 : timing_.tCmdCycleDdr;
+    }
+
+    /** Duration of one address-latch cycle. */
+    Tick addressCycle() const { return commandCycle(); }
+
+    /** Chip-enable setup before the first cycle of a segment. */
+    Tick ceSetup() const { return timing_.tCs; }
+
+    /**
+     * Duration of a data burst of @p bytes, including the DQS
+     * preamble/warm-up. In SDR each byte takes a full command cycle;
+     * in NV-DDR2 each byte is one transfer at the configured rate.
+     */
+    Tick
+    dataBurst(std::uint64_t bytes) const
+    {
+        if (mode_ == nand::DataInterface::Sdr)
+            return bytes * timing_.tCmdCycleSdr + kBurstFixed;
+        Tick per_byte = ticks::perSec / (static_cast<Tick>(rateMT_) *
+                                         1000 * 1000);
+        return bytes * per_byte + kBurstFixed + kBurstWarmup * per_byte;
+    }
+
+    /** Quarter-cycle data-valid window for phase calibration. */
+    Tick
+    phaseWindow() const
+    {
+        if (mode_ == nand::DataInterface::Sdr)
+            return timing_.tCmdCycleSdr / 4;
+        Tick per_byte = ticks::perSec / (static_cast<Tick>(rateMT_) *
+                                         1000 * 1000);
+        return per_byte / 4;
+    }
+
+  private:
+    /** Fixed strobe preamble/postamble per burst. */
+    static constexpr Tick kBurstFixed = 600 * ticks::perNs;
+    /** Warm-up transfers before data is valid (DDR modes). */
+    static constexpr Tick kBurstWarmup = 100;
+
+    nand::TimingParams timing_;
+    std::uint32_t rateMT_;
+    nand::DataInterface mode_ = nand::DataInterface::Sdr;
+};
+
+} // namespace babol::chan
+
+#endif // BABOL_CHAN_PHY_HH

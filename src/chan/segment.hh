@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Waveform segments: the unit of bus occupancy.
+ *
+ * A Segment is the executable form of one transaction — a sequence of
+ * command/address latches, data bursts, and pauses that monopolizes the
+ * channel from start to finish (the paper's atomicity property). μFSMs
+ * *emit* segments; the ChannelBus *executes* them.
+ */
+
+#ifndef BABOL_CHAN_SEGMENT_HH
+#define BABOL_CHAN_SEGMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nand/onfi.hh"
+#include "sim/types.hh"
+
+namespace babol::chan {
+
+/** One stretch of bus activity within a segment. */
+struct SegmentItem
+{
+    nand::CycleType type = nand::CycleType::CmdLatch;
+
+    /** Bytes driven by the controller (CmdLatch/AddrLatch/DataIn). */
+    std::vector<std::uint8_t> out;
+
+    /** Bytes to read from the package (DataOut). */
+    std::uint32_t inCount = 0;
+
+    /** Extra wait before this item begins (Timer μFSM, tADL, tCCS...). */
+    Tick preDelay = 0;
+
+    static SegmentItem
+    command(std::uint8_t cmd, Tick pre_delay = 0)
+    {
+        SegmentItem item;
+        item.type = nand::CycleType::CmdLatch;
+        item.out = {cmd};
+        item.preDelay = pre_delay;
+        return item;
+    }
+
+    static SegmentItem
+    address(std::vector<std::uint8_t> bytes, Tick pre_delay = 0)
+    {
+        SegmentItem item;
+        item.type = nand::CycleType::AddrLatch;
+        item.out = std::move(bytes);
+        item.preDelay = pre_delay;
+        return item;
+    }
+
+    static SegmentItem
+    dataIn(std::vector<std::uint8_t> bytes, Tick pre_delay = 0)
+    {
+        SegmentItem item;
+        item.type = nand::CycleType::DataIn;
+        item.out = std::move(bytes);
+        item.preDelay = pre_delay;
+        return item;
+    }
+
+    static SegmentItem
+    dataOut(std::uint32_t count, Tick pre_delay = 0)
+    {
+        SegmentItem item;
+        item.type = nand::CycleType::DataOut;
+        item.inCount = count;
+        item.preDelay = pre_delay;
+        return item;
+    }
+};
+
+/** A full waveform segment (one transaction's worth of bus activity). */
+struct Segment
+{
+    /** Chips (packages) selected while the segment runs. */
+    std::uint32_t ceMask = 0;
+
+    std::vector<SegmentItem> items;
+
+    /** Mandatory wait after the last item (e.g., tWB) — still part of the
+     *  segment's bus reservation so no other transaction squeezes in. */
+    Tick postDelay = 0;
+
+    /** For the trace (logic-analyzer label). */
+    std::string label;
+};
+
+/** Bytes captured from DataOut items, in order. */
+struct SegmentResult
+{
+    std::vector<std::uint8_t> dataOut;
+};
+
+} // namespace babol::chan
+
+#endif // BABOL_CHAN_SEGMENT_HH

@@ -1,0 +1,96 @@
+#include "trace.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace babol::chan {
+
+std::vector<TraceEvent>
+BusTrace::find(const std::string &needle) const
+{
+    std::vector<TraceEvent> out;
+    for (const auto &ev : events_) {
+        if (ev.label.find(needle) != std::string::npos)
+            out.push_back(ev);
+    }
+    return out;
+}
+
+std::vector<Tick>
+BusTrace::periodsOf(const std::string &needle) const
+{
+    std::vector<TraceEvent> matches = find(needle);
+    std::vector<Tick> periods;
+    for (std::size_t i = 1; i < matches.size(); ++i)
+        periods.push_back(matches[i].start - matches[i - 1].start);
+    return periods;
+}
+
+double
+BusTrace::busyFraction(Tick t0, Tick t1) const
+{
+    if (t1 <= t0)
+        return 0.0;
+    Tick busy = 0;
+    for (const auto &ev : events_) {
+        Tick s = std::max(ev.start, t0);
+        Tick e = std::min(ev.end, t1);
+        if (e > s)
+            busy += e - s;
+    }
+    return static_cast<double>(busy) / static_cast<double>(t1 - t0);
+}
+
+void
+BusTrace::writeVcd(std::ostream &os,
+                   const std::string &channel_name) const
+{
+    os << "$date BABOL simulation $end\n"
+       << "$version babol BusTrace $end\n"
+       << "$timescale 1ps $end\n"
+       << "$scope module " << channel_name << " $end\n"
+       << "$var wire 1 ! bus_busy $end\n"
+       << "$var wire 8 \" ce_mask $end\n"
+       << "$var string 1 # segment $end\n"
+       << "$upscope $end\n"
+       << "$enddefinitions $end\n"
+       << "#0\n0!\nb00000000 \"\nsIDLE #\n";
+
+    auto bits8 = [](std::uint32_t v) {
+        std::string s(8, '0');
+        for (int i = 0; i < 8; ++i)
+            if (v & (1u << i))
+                s[7 - i] = '1';
+        return s;
+    };
+    auto vcd_label = [](const std::string &label) {
+        std::string s = label;
+        for (char &c : s)
+            if (c == ' ')
+                c = '_';
+        return s.empty() ? std::string("SEG") : s;
+    };
+
+    for (const TraceEvent &ev : events_) {
+        os << '#' << ev.start << "\n1!\nb" << bits8(ev.ceMask) << " \"\ns"
+           << vcd_label(ev.label) << " #\n";
+        os << '#' << ev.end << "\n0!\nsIDLE #\n";
+    }
+}
+
+std::string
+BusTrace::renderTimeline() const
+{
+    std::ostringstream os;
+    for (const auto &ev : events_) {
+        os << strfmt("  [%10.3f .. %10.3f us] ce=%02x  %s\n",
+                     ticks::toUs(ev.start), ticks::toUs(ev.end), ev.ceMask,
+                     ev.label.c_str());
+    }
+    return os.str();
+}
+
+} // namespace babol::chan

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Bus-event trace: the simulation's stand-in for the paper's Keysight
+ * logic analyzer (Fig. 11).
+ *
+ * Every executed segment records its span, chip mask, and label with
+ * picosecond resolution. Harnesses query the trace to measure polling
+ * periods and detection delays, and can render a human-readable timeline.
+ */
+
+#ifndef BABOL_CHAN_TRACE_HH
+#define BABOL_CHAN_TRACE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace babol::chan {
+
+struct TraceEvent
+{
+    Tick start = 0;
+    Tick end = 0;
+    std::uint32_t ceMask = 0;
+    std::string label;
+};
+
+class BusTrace
+{
+  public:
+    /** Start/stop recording (off by default; recording costs memory). */
+    void setEnabled(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+
+    void
+    record(TraceEvent ev)
+    {
+        if (enabled_)
+            events_.push_back(std::move(ev));
+    }
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+    void clear() { events_.clear(); }
+
+    /** Events whose label contains @p needle. */
+    std::vector<TraceEvent> find(const std::string &needle) const;
+
+    /**
+     * Gaps between consecutive starts of events matching @p needle —
+     * e.g. the READ STATUS polling period of Fig. 11.
+     */
+    std::vector<Tick> periodsOf(const std::string &needle) const;
+
+    /** Fraction of [t0, t1] during which the bus was occupied. */
+    double busyFraction(Tick t0, Tick t1) const;
+
+    /** Render an indented, timestamped timeline (µs) of all events. */
+    std::string renderTimeline() const;
+
+    /**
+     * Emit the trace as a Value Change Dump (1 ps timescale) with three
+     * signals — bus_busy, ce_mask, and the running segment's label as a
+     * string variable — loadable in GTKWave next to real logic-analyzer
+     * captures.
+     */
+    void writeVcd(std::ostream &os,
+                  const std::string &channel_name = "channel") const;
+
+  private:
+    bool enabled_ = false;
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace babol::chan
+
+#endif // BABOL_CHAN_TRACE_HH

@@ -1,0 +1,99 @@
+#include "area_model.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace babol::core {
+
+double
+AreaModel::totalLuts() const
+{
+    double sum = 0;
+    for (const auto &m : modules_)
+        sum += m.luts * m.count;
+    return sum;
+}
+
+double
+AreaModel::totalFfs() const
+{
+    double sum = 0;
+    for (const auto &m : modules_)
+        sum += m.ffs * m.count;
+    return sum;
+}
+
+double
+AreaModel::totalBrams() const
+{
+    double sum = 0;
+    for (const auto &m : modules_)
+        sum += m.brams * m.count;
+    return sum;
+}
+
+std::string
+AreaModel::breakdown() const
+{
+    std::ostringstream os;
+    os << design_ << "\n";
+    for (const auto &m : modules_) {
+        os << strfmt("  %-34s x%-2u  LUT %7.1f  FF %7.1f  BRAM %5.2f\n",
+                     m.name.c_str(), m.count, m.luts * m.count,
+                     m.ffs * m.count, m.brams * m.count);
+    }
+    os << strfmt("  %-38s  LUT %7.1f  FF %7.1f  BRAM %5.2f\n", "TOTAL",
+                 totalLuts(), totalFfs(), totalBrams());
+    return os.str();
+}
+
+AreaModel
+syncHwArea(std::uint32_t luns)
+{
+    AreaModel area("synchronous HW controller [50]");
+    // Shared infrastructure.
+    area.add("phy + io ring", 900, 1100, 1.0);
+    area.add("hardware arbiter/scheduler", 600, 700, 0.5);
+    area.add("dma + buffers", 600, 700, 2.0);
+    // The defining cost: READ+PROGRAM+ERASE FSMs, fully replicated per
+    // LUN so any LUN can produce its next waveform cycle-reactively.
+    area.add("READ op FSM (per LUN)", 420, 610, 0.5, luns);
+    area.add("PROGRAM op FSM (per LUN)", 330, 470, 0.375, luns);
+    area.add("ERASE op FSM (per LUN)", 155, 235, 0.125, luns);
+    return area;
+}
+
+AreaModel
+asyncHwArea(std::uint32_t luns)
+{
+    AreaModel area("asynchronous HW controller (Cosmos+) [25]");
+    area.add("phy + io ring", 900, 1000, 1.0);
+    area.add("shared op engine (R/P/E ROMs)", 1400, 1100, 1.5);
+    area.add("request queue + dispatch", 400, 350, 1.0);
+    area.add("dma + buffers", 400, 350, 0.5);
+    area.add("per-LUN context registers", 101, 118, 0.5, luns);
+    return area;
+}
+
+AreaModel
+babolArea(std::uint32_t luns, std::uint32_t fifo_depth)
+{
+    AreaModel area("BABOL (μFSMs + software scheduling)");
+    area.add("phy + io ring", 780, 900, 1.0);
+    area.add("C/A Writer μFSM", 290, 210, 0.0);
+    area.add("Data Writer μFSM", 370, 400, 0.0);
+    area.add("Data Reader μFSM", 410, 430, 0.0);
+    area.add("Timer μFSM", 58, 60, 0.0);
+    area.add("Chip Control μFSM", 48, 38, 0.0);
+    area.add("packetizer (DMA descriptors)", 690, 580, 2.0);
+    area.add("exec sequencer + CSR doorbells", 557, 681, 1.0);
+    // Instruction FIFO: ~512 bits per queued transaction descriptor,
+    // on top of the fixed capture/staging buffer.
+    double fifo_bram = 1.875 + fifo_depth * 512.0 / (16 * 1024);
+    area.add("transaction FIFO", 0, 0, fifo_bram);
+    area.add("per-LUN status/CE registers", 42, 42, 0.0, luns);
+    return area;
+}
+
+} // namespace babol::core

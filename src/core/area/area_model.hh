@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Structural FPGA resource estimator (Table III substitute).
+ *
+ * Without Vivado we cannot synthesize bitstreams, so each controller is
+ * described structurally — every hardware module contributes register
+ * bits (FF), combinational logic (LUT), and buffer memory (BRAM), with
+ * per-LUN replication where the architecture demands it. The per-module
+ * figures are calibrated so the 8-LUN totals land on the paper's
+ * Table III; the *model* then predicts how area scales with LUN count
+ * and FIFO depth, which the synthesis report could not.
+ *
+ * The architectural story the numbers tell survives the substitution:
+ * the synchronous design replicates whole operation FSMs per LUN (big),
+ * the Cosmos+ asynchronous design shares one engine (smaller), and
+ * BABOL keeps only μFSMs + FIFOs in hardware (smallest).
+ */
+
+#ifndef BABOL_CORE_AREA_AREA_MODEL_HH
+#define BABOL_CORE_AREA_AREA_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace babol::core {
+
+struct ModuleArea
+{
+    std::string name;
+    double luts = 0;
+    double ffs = 0;
+    double brams = 0;
+
+    /** Instances of this module in the design. */
+    std::uint32_t count = 1;
+};
+
+class AreaModel
+{
+  public:
+    explicit AreaModel(std::string design) : design_(std::move(design)) {}
+
+    void
+    add(std::string name, double luts, double ffs, double brams,
+        std::uint32_t count = 1)
+    {
+        modules_.push_back({std::move(name), luts, ffs, brams, count});
+    }
+
+    const std::string &design() const { return design_; }
+    const std::vector<ModuleArea> &modules() const { return modules_; }
+
+    double totalLuts() const;
+    double totalFfs() const;
+    double totalBrams() const;
+
+    /** Multi-line per-module breakdown. */
+    std::string breakdown() const;
+
+  private:
+    std::string design_;
+    std::vector<ModuleArea> modules_;
+};
+
+/** Synchronous hardware controller in the style of Qiu et al. [50]:
+ *  one full operation-FSM bank per LUN. */
+AreaModel syncHwArea(std::uint32_t luns);
+
+/** Asynchronous hardware controller of the Cosmos+ OpenSSD [25]:
+ *  a shared operation engine with per-LUN context. */
+AreaModel asyncHwArea(std::uint32_t luns);
+
+/** BABOL: μFSM bank + transaction FIFO + packetizer; operations live in
+ *  software (the processor is SoC hard logic, not fabric — §VI-E). */
+AreaModel babolArea(std::uint32_t luns, std::uint32_t fifo_depth);
+
+} // namespace babol::core
+
+#endif // BABOL_CORE_AREA_AREA_MODEL_HH

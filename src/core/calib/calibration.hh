@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Package bring-up and phase calibration (paper §IV-C).
+ *
+ * Fresh ONFI packages boot in SDR mode with unknown board-level trace
+ * skew. The bring-up flow — written entirely as BABOL software
+ * operations — resets each chip, verifies the ONFI signature, decodes
+ * the parameter page for self-configuration, switches the data
+ * interface to NV-DDR2 via SET FEATURES, retargets the controller PHY,
+ * and finally sweeps the per-chip sampling phase against a known
+ * pattern to find the valid data window. A hardware controller needs a
+ * respin for any of these steps to change; here they are ~100 lines of
+ * operation code.
+ */
+
+#ifndef BABOL_CORE_CALIB_CALIBRATION_HH
+#define BABOL_CORE_CALIB_CALIBRATION_HH
+
+#include "../coro/ops.hh"
+
+namespace babol::core {
+
+/** What bring-up learned about one chip. */
+struct BringUpReport
+{
+    bool onfiSignatureOk = false;
+    nand::ParamPageInfo params;
+    std::uint32_t negotiatedMT = 0;
+    Tick phaseAdjust = 0;
+    bool phaseLocked = false;
+};
+
+/**
+ * Variant of SET FEATURES for the timing-mode register: after a data
+ * interface change the device stops answering in the old mode, so this
+ * waits out tFEAT instead of status-polling.
+ */
+Op<std::uint8_t> setTimingModeOp(OpEnv &env, std::uint32_t chip,
+                                 std::uint8_t mode_p1);
+
+/**
+ * Sweep the controller's sampling-phase adjustment for @p chip against
+ * the ONFI READ ID signature and lock the center of the widest passing
+ * window. Returns the chosen adjustment; panics if no window exists.
+ */
+Op<Tick> calibratePhaseOp(OpEnv &env, std::uint32_t chip);
+
+/** Bring up a single chip (reset → identify → parameter page). */
+Op<BringUpReport> identifyChipOp(OpEnv &env, std::uint32_t chip);
+
+/**
+ * Bring up the whole channel: identify every chip in SDR, negotiate the
+ * fastest common NV-DDR2 rate (capped by @p target_mt), switch every
+ * chip and then the PHY, and phase-calibrate each chip. Returns one
+ * report per chip.
+ */
+Op<std::vector<BringUpReport>> bringUpChannelOp(OpEnv &env,
+                                                std::uint32_t target_mt);
+
+} // namespace babol::core
+
+#endif // BABOL_CORE_CALIB_CALIBRATION_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Common interface of all channel-controller flavours: the software-
+ * defined BABOL controllers (coroutine and RTOS environments) and the
+ * two hardware baselines. The FTL sees only submit()/stats.
+ */
+
+#ifndef BABOL_CORE_CONTROLLER_HH
+#define BABOL_CORE_CONTROLLER_HH
+
+#include "channel_system.hh"
+#include "flash_backend.hh"
+#include "op_request.hh"
+#include "sim/stats.hh"
+
+namespace babol::core {
+
+/** Configuration shared by both software controller flavours. */
+struct SoftControllerConfig
+{
+    std::uint32_t cpuMhz = 1000;
+    std::string txnPolicy = "round-robin";
+    std::string taskPolicy = "fifo";
+
+    /** Read-retry budget applied to plain Read requests (0 = off). */
+    std::uint32_t maxReadRetries = 0;
+};
+
+class ChannelController : public SimObject, public FlashBackend
+{
+  public:
+    ChannelController(EventQueue &eq, const std::string &name,
+                      ChannelSystem &sys)
+        : SimObject(eq, name),
+          sys_(sys),
+          latencyUs_("op latency (us)")
+    {}
+
+    /** "coroutine", "rtos", "hw-sync", or "hw-async". */
+    virtual const char *flavorName() const = 0;
+
+    /** Accept one flash operation request from the FTL. */
+    void submit(FlashRequest req) override = 0;
+
+    ChannelSystem &system() { return sys_; }
+
+    // --- FlashBackend: one channel is the simplest back-end ---
+    std::uint32_t backendChipCount() const override
+    {
+        return sys_.chipCount();
+    }
+    const nand::Geometry &backendGeometry() const override
+    {
+        return sys_.config().package.geometry;
+    }
+    dram::DramBuffer &backendDram() override { return sys_.dram(); }
+
+    // --- Stats ---
+    std::uint64_t opsCompleted() const { return opsCompleted_; }
+    std::uint64_t opsFailed() const { return opsFailed_; }
+    std::uint64_t payloadBytesRead() const { return payloadRead_; }
+    std::uint64_t payloadBytesWritten() const { return payloadWritten_; }
+    const Distribution &latencyUs() const { return latencyUs_; }
+    void
+    resetStats()
+    {
+        opsCompleted_ = 0;
+        opsFailed_ = 0;
+        payloadRead_ = 0;
+        payloadWritten_ = 0;
+        latencyUs_.reset();
+    }
+
+  protected:
+    /** Record stats and deliver the result to the requester. */
+    void
+    finishOp(const FlashRequest &req, OpResult result)
+    {
+        result.doneTick = curTick();
+        ++opsCompleted_;
+        if (!result.ok)
+            ++opsFailed_;
+        if (result.ok) {
+            switch (req.kind) {
+              case FlashOpKind::Read:
+              case FlashOpKind::PslcRead:
+                payloadRead_ += req.dataBytes;
+                break;
+              case FlashOpKind::Program:
+              case FlashOpKind::PslcProgram:
+                payloadWritten_ += req.dataBytes;
+                break;
+              default:
+                break;
+            }
+        }
+        latencyUs_.sample(ticks::toUs(result.latency()));
+        if (req.onComplete)
+            req.onComplete(result);
+    }
+
+    ChannelSystem &sys_;
+    std::uint64_t opsCompleted_ = 0;
+    std::uint64_t opsFailed_ = 0;
+    std::uint64_t payloadRead_ = 0;
+    std::uint64_t payloadWritten_ = 0;
+    Distribution latencyUs_;
+};
+
+} // namespace babol::core
+
+#endif // BABOL_CORE_CONTROLLER_HH

@@ -1,0 +1,111 @@
+#include "coro_controller.hh"
+
+namespace babol::core {
+
+CoroController::CoroController(EventQueue &eq, const std::string &name,
+                               ChannelSystem &sys,
+                               SoftControllerConfig cfg)
+    : ChannelController(eq, name, sys),
+      cfg_(cfg),
+      cpu_(eq, name + ".cpu", cfg.cpuMhz),
+      rt_(eq, name + ".rt", cpu_, sys.exec(),
+          makeTxnScheduler(cfg.txnPolicy), SoftwareCosts::coroutine()),
+      tasks_(makeTaskScheduler(cfg.taskPolicy)),
+      env_{rt_, sys},
+      chipBusy_(sys.chipCount(), false)
+{}
+
+void
+CoroController::submit(FlashRequest req)
+{
+    req.submitTick = curTick();
+    babol_assert(req.chip < chipBusy_.size(), "chip %u out of range",
+                 req.chip);
+    tasks_->submit(std::move(req));
+    kickAdmit();
+}
+
+void
+CoroController::kickAdmit()
+{
+    if (admitPending_ || tasks_->pendingCount() == 0)
+        return;
+    admitPending_ = true;
+    cpu_.execute(rt_.costs().taskAdmit, [this] {
+        admitPending_ = false;
+        auto req = tasks_->admitNext(
+            [this](std::uint32_t chip) { return !chipBusy_[chip]; });
+        if (req) {
+            startRequest(std::move(*req));
+            // More chips may be idle; admit again until nothing fits.
+            kickAdmit();
+        }
+    }, "task admit");
+}
+
+Op<OpResult>
+CoroController::dispatch(const FlashRequest &req)
+{
+    switch (req.kind) {
+      case FlashOpKind::Read:
+        if (cfg_.maxReadRetries > 0)
+            return readWithRetryOp(env_, req, cfg_.maxReadRetries);
+        return readOp(env_, req);
+      case FlashOpKind::PslcRead:
+        return pslcReadOp(env_, req);
+      case FlashOpKind::Program:
+        return programOp(env_, req, false);
+      case FlashOpKind::PslcProgram:
+        return programOp(env_, req, true);
+      case FlashOpKind::Erase:
+        return eraseOp(env_, req, false);
+      case FlashOpKind::SlcErase:
+        return eraseOp(env_, req, true);
+    }
+    panic("unknown flash op kind %d", static_cast<int>(req.kind));
+}
+
+void
+CoroController::startRequest(FlashRequest req)
+{
+    chipBusy_[req.chip] = true;
+    std::uint64_t id = nextId_++;
+
+    auto live = std::make_unique<Live>();
+    live->req = std::move(req);
+    live->op = dispatch(live->req);
+
+    // The completion hook runs inside the coroutine's final suspend;
+    // defer the real completion work to ISR context so the frame can be
+    // destroyed safely (and so completion costs CPU cycles).
+    live->op.setOnDone([this, id] {
+        cpu_.execute(rt_.costs().completionIsr,
+                     [this, id] { completeRequest(id); },
+                     "op completion isr");
+    });
+
+    Op<OpResult>::Handle handle = live->op.handle();
+    live_.emplace(id, std::move(live));
+    rt_.startOp(handle);
+}
+
+void
+CoroController::completeRequest(std::uint64_t id)
+{
+    auto it = live_.find(id);
+    babol_assert(it != live_.end(), "completion for unknown op %llu",
+                 static_cast<unsigned long long>(id));
+    Live &live = *it->second;
+
+    OpResult result = live.op.result(); // rethrows op-body panics
+    result.submitTick = live.req.submitTick;
+
+    chipBusy_[live.req.chip] = false;
+    FlashRequest req = std::move(live.req);
+    live_.erase(it);
+
+    finishOp(req, result);
+    kickAdmit();
+}
+
+} // namespace babol::core

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The coroutine-environment BABOL channel controller.
+ *
+ * This is the paper's first software flavour: operations are C++20
+ * coroutines (ops.hh), admitted by a pluggable Task Scheduler and
+ * interleaved by a pluggable Transaction Scheduler, all running on a
+ * modeled embedded CPU. Easy to program, hungry for processor cycles —
+ * the Fig. 10 trade-off.
+ */
+
+#ifndef BABOL_CORE_CORO_CORO_CONTROLLER_HH
+#define BABOL_CORE_CORO_CORO_CONTROLLER_HH
+
+#include <memory>
+#include <unordered_map>
+
+#include "../controller.hh"
+#include "coro_runtime.hh"
+#include "ops.hh"
+
+namespace babol::core {
+
+class CoroController : public ChannelController
+{
+  public:
+    CoroController(EventQueue &eq, const std::string &name,
+                   ChannelSystem &sys, SoftControllerConfig cfg = {});
+
+    const char *flavorName() const override { return "coroutine"; }
+    void submit(FlashRequest req) override;
+
+    cpu::CpuModel &cpu() { return cpu_; }
+    CoroRuntime &runtime() { return rt_; }
+    OpEnv &env() { return env_; }
+
+    /** Operations currently admitted (one per busy chip at most). */
+    std::size_t liveOps() const { return live_.size(); }
+
+  private:
+    struct Live
+    {
+        FlashRequest req;
+        Op<OpResult> op;
+    };
+
+    void kickAdmit();
+    void startRequest(FlashRequest req);
+    void completeRequest(std::uint64_t id);
+    Op<OpResult> dispatch(const FlashRequest &req);
+
+    SoftControllerConfig cfg_;
+    cpu::CpuModel cpu_;
+    CoroRuntime rt_;
+    std::unique_ptr<TaskScheduler> tasks_;
+    OpEnv env_;
+    std::vector<bool> chipBusy_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Live>> live_;
+    std::uint64_t nextId_ = 0;
+    bool admitPending_ = false;
+};
+
+} // namespace babol::core
+
+#endif // BABOL_CORE_CORO_CORO_CONTROLLER_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Runtime services for coroutine-environment operations: transaction
+ * submission awaitables, timed delays, and CPU-charged resumption.
+ *
+ * Every path that re-enters a coroutine goes through the CpuModel with
+ * the coroutine cost profile, so the ~30 µs polling cycle the paper
+ * measured at 1 GHz falls out of the same primitives operations actually
+ * use (DESIGN.md §4).
+ */
+
+#ifndef BABOL_CORE_CORO_CORO_RUNTIME_HH
+#define BABOL_CORE_CORO_CORO_RUNTIME_HH
+
+#include <coroutine>
+
+#include "../soft_runtime.hh"
+
+namespace babol::core {
+
+class CoroRuntime : public SoftRuntime
+{
+  public:
+    CoroRuntime(EventQueue &eq, const std::string &name,
+                cpu::CpuModel &cpu, ExecUnit &exec,
+                std::unique_ptr<TransactionScheduler> txn_sched,
+                SoftwareCosts costs = SoftwareCosts::coroutine())
+        : SoftRuntime(eq, name, cpu, exec, std::move(txn_sched), costs)
+    {}
+
+    /** Start a root operation (the admission pass was already paid for
+     *  by the task scheduler; this is just the first switch-in). */
+    void
+    startOp(std::coroutine_handle<> h)
+    {
+        cpu().execute(costs().contextSwitch, [h] { h.resume(); },
+                      "coro start");
+    }
+
+    /** Resume after a hardware completion: ISR + context switch, on the
+     *  interrupt-side CPU lane. */
+    void
+    resumeFromHw(std::coroutine_handle<> h)
+    {
+        cpu().execute(costs().completionIsr + costs().contextSwitch,
+                      [h] { h.resume(); }, "coro hw resume",
+                      cpu::CpuPriority::High);
+    }
+
+    /** Resume after a timed software delay. */
+    void
+    resumeAfter(Tick delay, std::coroutine_handle<> h)
+    {
+        eq_.scheduleIn(delay, [this, h] {
+            cpu().execute(costs().contextSwitch, [h] { h.resume(); },
+                          "coro timer resume");
+        }, "coro delay");
+    }
+
+    /** Awaitable: submit a transaction, resume with its result. */
+    struct SubmitAwaiter
+    {
+        CoroRuntime &rt;
+        Transaction txn;
+        TxnResult result;
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            txn.onComplete = [this, h](TxnResult r) {
+                result = std::move(r);
+                rt.resumeFromHw(h);
+            };
+            rt.submitTransaction(std::move(txn));
+        }
+
+        TxnResult await_resume() { return std::move(result); }
+    };
+
+    SubmitAwaiter
+    submit(Transaction txn)
+    {
+        return SubmitAwaiter{*this, std::move(txn), {}};
+    }
+
+    /** Awaitable: yield for at least @p delay of simulated time. */
+    struct DelayAwaiter
+    {
+        CoroRuntime &rt;
+        Tick delay;
+
+        bool await_ready() const noexcept { return false; }
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            rt.resumeAfter(delay, h);
+        }
+        void await_resume() const noexcept {}
+    };
+
+    DelayAwaiter sleepFor(Tick delay) { return DelayAwaiter{*this, delay}; }
+};
+
+} // namespace babol::core
+
+#endif // BABOL_CORE_CORO_CORO_RUNTIME_HH

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The coroutine type BABOL operations are written in.
+ *
+ * The paper's first software environment encodes flash operations as C++
+ * coroutines: linear-looking code that enqueues transactions and
+ * relinquishes control at every co_await (§V, Algorithms 1–3). Op<T> is
+ * that coroutine type. Operations nest naturally — READ co_awaits
+ * READ STATUS in its polling loop — via symmetric transfer, so a nested
+ * call costs no scheduler round-trip.
+ *
+ * Ownership: the Op object owns the coroutine frame. Sub-operations are
+ * owned by the temporary in the parent's co_await expression; root
+ * operations are owned by whoever keeps the Op (the controller's live
+ * table) and must stay alive until the completion hook runs.
+ */
+
+#ifndef BABOL_CORE_CORO_OP_TASK_HH
+#define BABOL_CORE_CORO_OP_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <utility>
+
+namespace babol::core {
+
+template <typename T>
+class [[nodiscard]] Op
+{
+  public:
+    struct promise_type;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    struct FinalAwaiter
+    {
+        bool await_ready() const noexcept { return false; }
+
+        std::coroutine_handle<>
+        await_suspend(Handle h) noexcept
+        {
+            promise_type &p = h.promise();
+            if (p.onDone)
+                p.onDone(); // must not destroy the frame synchronously
+            if (p.continuation)
+                return p.continuation;
+            return std::noop_coroutine();
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    struct promise_type
+    {
+        T value{};
+        std::exception_ptr error;
+        std::coroutine_handle<> continuation;
+        std::function<void()> onDone;
+
+        Op
+        get_return_object()
+        {
+            return Op(Handle::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        FinalAwaiter final_suspend() noexcept { return {}; }
+
+        void return_value(T v) { value = std::move(v); }
+
+        void unhandled_exception() { error = std::current_exception(); }
+    };
+
+    Op() = default;
+    explicit Op(Handle h) : h_(h) {}
+    Op(Op &&other) noexcept : h_(std::exchange(other.h_, {})) {}
+    Op &
+    operator=(Op &&other) noexcept
+    {
+        if (this != &other) {
+            if (h_)
+                h_.destroy();
+            h_ = std::exchange(other.h_, {});
+        }
+        return *this;
+    }
+    Op(const Op &) = delete;
+    Op &operator=(const Op &) = delete;
+
+    ~Op()
+    {
+        if (h_)
+            h_.destroy();
+    }
+
+    Handle handle() const { return h_; }
+    bool done() const { return h_ && h_.done(); }
+
+    /** Result after completion (root-op accessor). */
+    T &
+    result()
+    {
+        if (h_.promise().error)
+            std::rethrow_exception(h_.promise().error);
+        return h_.promise().value;
+    }
+
+    /** Completion hook for root operations. */
+    void setOnDone(std::function<void()> fn) { h_.promise().onDone = std::move(fn); }
+
+    /** Stashed exception, if the operation body threw. */
+    std::exception_ptr error() const { return h_.promise().error; }
+
+    /** Awaiting an Op runs it as a nested operation. */
+    struct NestedAwaiter
+    {
+        Handle h;
+
+        bool await_ready() const noexcept { return h.done(); }
+
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<> parent) noexcept
+        {
+            h.promise().continuation = parent;
+            return h; // symmetric transfer: start the sub-operation
+        }
+
+        T
+        await_resume()
+        {
+            if (h.promise().error)
+                std::rethrow_exception(h.promise().error);
+            return std::move(h.promise().value);
+        }
+    };
+
+    NestedAwaiter operator co_await() && noexcept
+    {
+        return NestedAwaiter{h_};
+    }
+
+  private:
+    Handle h_;
+};
+
+} // namespace babol::core
+
+#endif // BABOL_CORE_CORO_OP_TASK_HH

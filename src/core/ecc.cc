@@ -1,0 +1,146 @@
+#include "ecc.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace babol::core {
+
+std::uint32_t
+EccEngine::codewordsFor(std::uint32_t data_bytes) const
+{
+    return (data_bytes + params_.codewordDataBytes - 1) /
+           params_.codewordDataBytes;
+}
+
+std::uint32_t
+EccEngine::flashBytesFor(std::uint32_t data_bytes) const
+{
+    return codewordsFor(data_bytes) * codewordTotalBytes();
+}
+
+std::uint32_t
+EccEngine::flashColumnFor(std::uint32_t payload_column) const
+{
+    babol_assert(payload_column % params_.codewordDataBytes == 0,
+                 "payload column %u not codeword-aligned", payload_column);
+    return payload_column / params_.codewordDataBytes *
+           codewordTotalBytes();
+}
+
+std::uint32_t
+EccEngine::checksum(std::span<const std::uint8_t> data) const
+{
+    // FNV-1a; stands in for the parity the real encoder would compute.
+    std::uint32_t h = 2166136261u;
+    for (std::uint8_t b : data) {
+        h ^= b;
+        h *= 16777619u;
+    }
+    return h;
+}
+
+std::vector<std::uint8_t>
+EccEngine::encode(std::span<const std::uint8_t> data) const
+{
+    const std::uint32_t cw_data = params_.codewordDataBytes;
+    const std::uint32_t cw_total = codewordTotalBytes();
+    const std::uint32_t n_cw = codewordsFor(
+        static_cast<std::uint32_t>(data.size()));
+
+    std::vector<std::uint8_t> image(
+        static_cast<std::size_t>(n_cw) * cw_total, 0xFF);
+    for (std::uint32_t cw = 0; cw < n_cw; ++cw) {
+        std::size_t src = static_cast<std::size_t>(cw) * cw_data;
+        std::size_t len = std::min<std::size_t>(cw_data,
+                                                data.size() - src);
+        std::size_t dst = static_cast<std::size_t>(cw) * cw_total;
+        std::copy(data.begin() + src, data.begin() + src + len,
+                  image.begin() + dst);
+        std::fill(image.begin() + dst + len, image.begin() + dst + cw_data,
+                  0xFF);
+
+        std::uint32_t sum = checksum(
+            std::span<const std::uint8_t>(image.data() + dst, cw_data));
+        std::uint8_t *parity = image.data() + dst + cw_data;
+        std::fill(parity, parity + params_.parityBytes, 0);
+        for (int i = 0; i < 4; ++i)
+            parity[i] = static_cast<std::uint8_t>(sum >> (8 * i));
+    }
+    return image;
+}
+
+EccReport
+EccEngine::decode(std::span<std::uint8_t> image, std::uint32_t page_column,
+                  std::span<const std::uint32_t> flips) const
+{
+    const std::uint32_t cw_total = codewordTotalBytes();
+    babol_assert(image.size() % cw_total == 0,
+                 "ECC decode needs whole codewords (got %zu bytes)",
+                 image.size());
+
+    EccReport report;
+    report.codewords = static_cast<std::uint32_t>(image.size() / cw_total);
+
+    // Pass 1: count injected errors per codeword within the capture.
+    std::vector<std::uint32_t> errs(report.codewords, 0);
+    for (std::uint32_t bit : flips) {
+        std::uint32_t byte = bit / 8;
+        if (byte < page_column || byte >= page_column + image.size())
+            continue;
+        errs[(byte - page_column) / cw_total]++;
+    }
+
+    // Pass 2: correct codewords within capability; leave the rest dirty.
+    for (std::uint32_t bit : flips) {
+        std::uint32_t byte = bit / 8;
+        if (byte < page_column || byte >= page_column + image.size())
+            continue;
+        std::uint32_t cw = (byte - page_column) / cw_total;
+        if (errs[cw] <= params_.correctBits) {
+            image[byte - page_column] ^=
+                static_cast<std::uint8_t>(1u << (bit % 8));
+            ++report.correctedBits;
+        }
+    }
+
+    // Pass 3: verify parity checksums. Codewords past the capability, or
+    // pages written raw (no encode), show up here as failures.
+    for (std::uint32_t cw = 0; cw < report.codewords; ++cw) {
+        if (errs[cw] > params_.correctBits) {
+            ++report.failedCodewords;
+            continue;
+        }
+        const std::uint8_t *base = image.data() +
+                                   static_cast<std::size_t>(cw) * cw_total;
+        std::uint32_t sum = checksum(std::span<const std::uint8_t>(
+            base, params_.codewordDataBytes));
+        std::uint32_t stored = 0;
+        for (int i = 0; i < 4; ++i)
+            stored |= static_cast<std::uint32_t>(
+                          base[params_.codewordDataBytes + i])
+                      << (8 * i);
+        if (sum != stored)
+            ++report.failedCodewords;
+    }
+    return report;
+}
+
+std::vector<std::uint8_t>
+EccEngine::extractData(std::span<const std::uint8_t> image,
+                       std::uint32_t data_bytes) const
+{
+    const std::uint32_t cw_data = params_.codewordDataBytes;
+    const std::uint32_t cw_total = codewordTotalBytes();
+    std::vector<std::uint8_t> data(data_bytes);
+    for (std::uint32_t off = 0; off < data_bytes; ++off) {
+        std::uint32_t cw = off / cw_data;
+        std::uint32_t in_cw = off % cw_data;
+        std::size_t src = static_cast<std::size_t>(cw) * cw_total + in_cw;
+        babol_assert(src < image.size(), "extract past end of image");
+        data[off] = image[src];
+    }
+    return data;
+}
+
+} // namespace babol::core

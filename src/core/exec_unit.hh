@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The Operation Execution unit (paper Fig. 5, right half).
+ *
+ * A small hardware FIFO of ready transactions feeds the μFSM bank. When
+ * the channel frees up, the unit pops the next transaction, emits its
+ * waveform segment, and — once the segment and any DMA complete — posts
+ * the result back to the software environment. Because the FIFO is
+ * filled *ahead of time* by the (software) Transaction Scheduler, the
+ * channel never waits on software in the steady state: that is the
+ * paper's asynchronous-decoupling principle made concrete.
+ */
+
+#ifndef BABOL_CORE_EXEC_UNIT_HH
+#define BABOL_CORE_EXEC_UNIT_HH
+
+#include <deque>
+#include <functional>
+
+#include "chan/bus.hh"
+#include "ufsm.hh"
+
+namespace babol::core {
+
+class ExecUnit : public SimObject
+{
+  public:
+    ExecUnit(EventQueue &eq, const std::string &name, chan::ChannelBus &bus,
+             Packetizer &packetizer, std::uint32_t fifo_depth = 4);
+
+    chan::ChannelBus &bus() { return bus_; }
+    Packetizer &packetizer() { return packetizer_; }
+    const UfsmBank &ufsms() const { return ufsms_; }
+
+    std::uint32_t fifoDepth() const { return fifoDepth_; }
+    std::uint32_t fifoUsed() const
+    {
+        return static_cast<std::uint32_t>(fifo_.size());
+    }
+    bool hasSpace() const { return fifo_.size() < fifoDepth_; }
+
+    /** True when no transaction is queued or on the wires. */
+    bool idle() const { return fifo_.empty() && !issuing_; }
+
+    /** Push a ready transaction; panics when the FIFO is full (the
+     *  Transaction Scheduler must respect hasSpace()). */
+    void push(Transaction txn);
+
+    /** Invoked whenever a FIFO slot frees up (doorbell to the
+     *  Transaction Scheduler). */
+    void setSpaceCallback(std::function<void()> cb)
+    {
+        spaceCallback_ = std::move(cb);
+    }
+
+    std::uint64_t transactionsExecuted() const { return executed_; }
+
+  private:
+    void tryIssue();
+    void finish(Transaction txn, BuiltSegment built,
+                chan::SegmentResult result);
+
+    chan::ChannelBus &bus_;
+    Packetizer &packetizer_;
+    UfsmBank ufsms_;
+    std::uint32_t fifoDepth_;
+    std::deque<Transaction> fifo_;
+    bool issuing_ = false;
+    std::function<void()> spaceCallback_;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace babol::core
+
+#endif // BABOL_CORE_EXEC_UNIT_HH

@@ -1,0 +1,138 @@
+#include "hw_controller.hh"
+
+#include "hw_ops.hh"
+
+using namespace babol::time_literals;
+
+namespace babol::core {
+
+HwController::HwController(EventQueue &eq, const std::string &name,
+                           ChannelSystem &sys, bool synchronous)
+    : ChannelController(eq, name, sys),
+      synchronous_(synchronous),
+      arbitrationDeadTime_(synchronous ? 200_ns : 0),
+      rbSyncDelay_(100_ns),
+      pending_(sys.chipCount()),
+      active_(sys.chipCount()),
+      grants_(sys.chipCount())
+{}
+
+HwController::~HwController() = default;
+
+void
+HwController::submit(FlashRequest req)
+{
+    req.submitTick = curTick();
+    babol_assert(req.chip < pending_.size(), "chip %u out of range",
+                 req.chip);
+    std::uint32_t chip = req.chip;
+    pending_[chip].push_back(std::move(req));
+    tryStart(chip);
+}
+
+void
+HwController::tryStart(std::uint32_t chip)
+{
+    if (active_[chip] || pending_[chip].empty())
+        return;
+    FlashRequest req = std::move(pending_[chip].front());
+    pending_[chip].pop_front();
+    active_[chip] = makeHwOpFsm(*this, std::move(req));
+    active_[chip]->start();
+}
+
+void
+HwController::issueSegment(std::uint32_t chip, chan::Segment seg,
+                           std::function<void(chan::SegmentResult)> done)
+{
+    babol_assert(chip < grants_.size(), "chip %u out of range", chip);
+    // Classify: command/address/status segments are "short control" and
+    // the arbiter lets them jump ahead of bulk transfers so a die's tR
+    // starts as early as possible (the classic anti-convoy rule of
+    // out-of-order flash controllers [43]).
+    bool short_control = true;
+    for (const chan::SegmentItem &item : seg.items) {
+        if (item.inCount > 64 || item.out.size() > 64)
+            short_control = false;
+    }
+    grants_[chip].push_back({std::move(seg), std::move(done),
+                             short_control});
+    pumpGrants();
+}
+
+void
+HwController::pumpGrants()
+{
+    if (granting_ || sys_.bus().busy())
+        return;
+    bool any = false;
+    for (const auto &queue : grants_)
+        any = any || !queue.empty();
+    if (!any)
+        return;
+    granting_ = true;
+    grantNext();
+}
+
+void
+HwController::grantNext()
+{
+    // Short-control segments first (round-robin), then bulk transfers
+    // (round-robin).
+    if (grantFrom(true))
+        return;
+    if (grantFrom(false))
+        return;
+    granting_ = false;
+}
+
+bool
+HwController::grantFrom(bool control_only)
+{
+    const std::uint32_t chips = static_cast<std::uint32_t>(grants_.size());
+    for (std::uint32_t step = 0; step < chips; ++step) {
+        std::uint32_t chip = (grantCursor_ + 1 + step) % chips;
+        if (grants_[chip].empty())
+            continue;
+        if (control_only && !grants_[chip].front().shortControl)
+            continue;
+        grantCursor_ = chip;
+        GrantRequest grant = std::move(grants_[chip].front());
+        grants_[chip].pop_front();
+
+        auto done = std::make_shared<
+            std::function<void(chan::SegmentResult)>>(
+            std::move(grant.done));
+        sys_.bus().issue(std::move(grant.segment),
+                         [this, done](chan::SegmentResult result) {
+            (*done)(std::move(result));
+            // The synchronous design re-arbitrates only after it sees
+            // the channel go idle; the asynchronous one already has the
+            // next segment staged.
+            granting_ = false;
+            if (arbitrationDeadTime_ > 0) {
+                eq_.scheduleIn(arbitrationDeadTime_,
+                               [this] { pumpGrants(); }, "hw arb");
+            } else {
+                pumpGrants();
+            }
+        });
+        return true;
+    }
+    return false;
+}
+
+void
+HwController::fsmDone(std::uint32_t chip, OpResult result)
+{
+    babol_assert(active_[chip] != nullptr, "completion with no active op");
+    FlashRequest req = active_[chip]->request();
+    // Defer teardown out of the FSM's own call stack.
+    eq_.scheduleIn(0, [this, chip, req = std::move(req), result] {
+        active_[chip].reset();
+        finishOp(req, result);
+        tryStart(chip);
+    }, "hw op done");
+}
+
+} // namespace babol::core

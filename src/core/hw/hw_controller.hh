@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Hardware-baseline channel controllers.
+ *
+ * Two flavours, mirroring the paper's comparison points:
+ *  - "hw-sync"  — a synchronous controller in the style of Qiu et
+ *    al. [50]: per-LUN operation FSMs wait for the channel to become
+ *    free, then the arbiter selects one and it produces its next
+ *    waveform on the spot (a small arbitration dead time models the
+ *    react-to-vacancy design).
+ *  - "hw-async" — the Cosmos+ OpenSSD controller [25]: segments are
+ *    prepared while the bus is busy, so the next grant issues with no
+ *    dead time.
+ *
+ * Both run entirely "in hardware": no CPU cycles are charged, readiness
+ * is observed on the R/B# pin rather than by status polling, and the
+ * operations are the hard-coded FSMs of hw_ops.cc — fast, rigid, and
+ * exactly as laborious to extend as the paper complains.
+ */
+
+#ifndef BABOL_CORE_HW_HW_CONTROLLER_HH
+#define BABOL_CORE_HW_HW_CONTROLLER_HH
+
+#include <deque>
+#include <memory>
+
+#include "../controller.hh"
+
+namespace babol::core {
+
+class HwOpFsm;
+
+class HwController : public ChannelController
+{
+  public:
+    /**
+     * @param synchronous  true for the [50]-style design (arbitration
+     *                     dead time on every grant), false for the
+     *                     Cosmos+-style asynchronous design
+     */
+    HwController(EventQueue &eq, const std::string &name,
+                 ChannelSystem &sys, bool synchronous);
+    ~HwController() override;
+
+    const char *
+    flavorName() const override
+    {
+        return synchronous_ ? "hw-sync" : "hw-async";
+    }
+
+    void submit(FlashRequest req) override;
+
+    bool synchronous() const { return synchronous_; }
+
+    /** R/B#-to-controller synchronizer delay. */
+    Tick rbSyncDelay() const { return rbSyncDelay_; }
+
+    // --- Services the operation FSMs use ---
+
+    /**
+     * Ask the arbiter for the channel; when granted, @p seg goes on the
+     * wires and @p done fires at segment end.
+     */
+    void issueSegment(std::uint32_t chip, chan::Segment seg,
+                      std::function<void(chan::SegmentResult)> done);
+
+    /** An operation FSM finished; frees the chip and reports upstream. */
+    void fsmDone(std::uint32_t chip, OpResult result);
+
+  private:
+    void tryStart(std::uint32_t chip);
+    void pumpGrants();
+    void grantNext();
+
+    bool synchronous_;
+    Tick arbitrationDeadTime_;
+    Tick rbSyncDelay_;
+
+    struct GrantRequest
+    {
+        chan::Segment segment;
+        std::function<void(chan::SegmentResult)> done;
+        bool shortControl = false; //!< no bulk data burst in the segment
+    };
+
+    bool grantFrom(bool control_only);
+
+    std::vector<std::deque<FlashRequest>> pending_;
+    std::vector<std::unique_ptr<HwOpFsm>> active_;
+    std::vector<std::deque<GrantRequest>> grants_;
+    std::uint32_t grantCursor_ = 0;
+    bool granting_ = false;
+};
+
+} // namespace babol::core
+
+#endif // BABOL_CORE_HW_HW_CONTROLLER_HH

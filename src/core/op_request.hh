@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The controller's northbound interface: what the FTL asks for and what
+ * it gets back. Every controller flavour (coroutine, RTOS, and the two
+ * hardware baselines) accepts the same FlashRequest, so experiments can
+ * swap controllers under an unchanged FTL/workload.
+ */
+
+#ifndef BABOL_CORE_OP_REQUEST_HH
+#define BABOL_CORE_OP_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "nand/geometry.hh"
+#include "sim/types.hh"
+
+namespace babol::core {
+
+enum class FlashOpKind : std::uint8_t {
+    Read,        //!< full or partial page read (Algorithm 2)
+    PslcRead,    //!< pseudo-SLC read (Algorithm 3)
+    Program,     //!< page program
+    PslcProgram, //!< pseudo-SLC page program
+    Erase,       //!< block erase
+    SlcErase,    //!< erase leaving the block in SLC mode
+};
+
+const char *toString(FlashOpKind kind);
+
+/** Completion report for one flash operation. */
+struct OpResult
+{
+    bool ok = false;
+
+    /** ECC accounting (reads). */
+    std::uint32_t correctedBits = 0;
+    std::uint32_t failedCodewords = 0;
+
+    /** Read-retry attempts consumed before success (reads). */
+    std::uint32_t retries = 0;
+
+    /** FAIL status bit observed (programs/erases). */
+    bool flashFail = false;
+
+    Tick submitTick = 0; //!< request handed to the controller
+    Tick startTick = 0;  //!< operation admitted by the task scheduler
+    Tick doneTick = 0;   //!< completion delivered
+
+    Tick latency() const { return doneTick - submitTick; }
+};
+
+struct FlashRequest
+{
+    FlashOpKind kind = FlashOpKind::Read;
+
+    /** Chip (CE index) on the channel. */
+    std::uint32_t chip = 0;
+
+    /** Target location; row.lun selects the LUN inside the package. */
+    nand::RowAddress row;
+
+    /**
+     * Payload byte offset within the page (reads). Must be aligned to
+     * the ECC codeword payload size, since partial reads fetch whole
+     * codewords.
+     */
+    std::uint32_t column = 0;
+
+    /** Payload bytes to move (reads/programs). */
+    std::uint32_t dataBytes = 0;
+
+    /** DRAM staging address of the payload. */
+    std::uint64_t dramAddr = 0;
+
+    /** Scheduling priority (higher first, policy permitting). */
+    int priority = 0;
+
+    /** Stamped by the controller when the request is accepted. */
+    Tick submitTick = 0;
+
+    std::function<void(OpResult)> onComplete;
+};
+
+} // namespace babol::core
+
+#endif // BABOL_CORE_OP_REQUEST_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The RTOS-environment BABOL channel controller (the paper's second
+ * software flavour).
+ *
+ * Identical architecture to the coroutine controller — software
+ * operation scheduling feeding the hardware execution unit — but the
+ * operations are explicit state machines on a FreeRTOS-style kernel,
+ * with the leaner cost profile that lets this flavour keep up on slow
+ * soft-cores (Fig. 10's 150 MHz column).
+ */
+
+#ifndef BABOL_CORE_RTOS_ENV_RTOS_CONTROLLER_HH
+#define BABOL_CORE_RTOS_ENV_RTOS_CONTROLLER_HH
+
+#include <memory>
+#include <unordered_map>
+
+#include "../controller.hh"
+#include "rtos_ops.hh"
+
+namespace babol::core {
+
+class RtosController : public ChannelController
+{
+  public:
+    RtosController(EventQueue &eq, const std::string &name,
+                   ChannelSystem &sys, SoftControllerConfig cfg = {});
+
+    const char *flavorName() const override { return "rtos"; }
+    void submit(FlashRequest req) override;
+
+    cpu::CpuModel &cpu() { return cpu_; }
+    cpu::RtosKernel &kernel() { return kernel_; }
+    SoftRuntime &runtime() { return rt_; }
+
+    /** Called by an op's finish(); defers teardown out of task context. */
+    void completeRequest(std::uint64_t id, OpResult res);
+
+    std::size_t liveOps() const { return live_.size(); }
+
+  private:
+    void kickAdmit();
+    void startRequest(FlashRequest req);
+
+    SoftControllerConfig cfg_;
+    cpu::CpuModel cpu_;
+    cpu::RtosKernel kernel_;
+    SoftRuntime rt_;
+    std::unique_ptr<TaskScheduler> tasks_;
+    std::vector<bool> chipBusy_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<RtosOpBase>> live_;
+    std::uint64_t nextId_ = 0;
+    bool admitPending_ = false;
+};
+
+} // namespace babol::core
+
+#endif // BABOL_CORE_RTOS_ENV_RTOS_CONTROLLER_HH

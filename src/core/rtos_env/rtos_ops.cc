@@ -1,0 +1,253 @@
+#include "rtos_ops.hh"
+
+#include "nand/onfi.hh"
+#include "rtos_controller.hh"
+
+namespace babol::core {
+
+using namespace nand;
+using namespace nand::opcode;
+
+RtosOpBase::RtosOpBase(RtosController &ctrl, std::uint64_t id,
+                       FlashRequest req, const std::string &name,
+                       int priority)
+    : cpu::RtosTask(name, priority),
+      ctrl_(ctrl),
+      id_(id),
+      req_(std::move(req))
+{
+    res_.startTick = ctrl.curTick();
+}
+
+void
+RtosOpBase::submitTxn(Transaction txn)
+{
+    txn.onComplete = [this](TxnResult r) {
+        lastTxn_ = std::move(r);
+        ctrl_.kernel().sendFromIsr(this, rtos_msg::kTxnDone);
+    };
+    ctrl_.runtime().submitTransaction(std::move(txn));
+}
+
+void
+RtosOpBase::finish(OpResult res)
+{
+    res.submitTick = req_.submitTick;
+    ctrl_.completeRequest(id_, res);
+}
+
+std::uint8_t
+RtosOpBase::lastStatus() const
+{
+    babol_assert(!lastTxn_.inlineData.empty(),
+                 "no status byte in last transaction");
+    return lastTxn_.inlineData.front();
+}
+
+Transaction
+RtosOpBase::makeStatusPoll() const
+{
+    Transaction txn(req_.chip, strfmt("READ_STATUS c%u", req_.chip));
+    txn.add(ChipControl{1u << req_.chip});
+    txn.add(CaWriter::command(kReadStatus));
+    txn.add(DataReader{.bytes = 1});
+    return txn;
+}
+
+// --------------------------------------------------------------------
+// READ
+// --------------------------------------------------------------------
+// LOC:BEGIN RTOS_READ
+RtosReadOp::RtosReadOp(RtosController &ctrl, std::uint64_t id,
+                       FlashRequest req, bool pslc)
+    : RtosOpBase(ctrl, id,
+                 [&] {
+                     if (req.dataBytes == 0) {
+                         req.dataBytes = ctrl.system()
+                                             .config()
+                                             .package.geometry.pageDataBytes;
+                     }
+                     return std::move(req);
+                 }(),
+                 strfmt("read.c%u", req.chip), 2),
+      pslc_(pslc)
+{}
+
+void
+RtosReadOp::onMessage(cpu::RtosKernel &kernel, std::uint64_t msg)
+{
+    ChannelSystem &sys = ctrl_.system();
+    const Geometry &geo = sys.config().package.geometry;
+
+    switch (st_) {
+      case St::Idle: {
+        babol_assert(msg == rtos_msg::kStart, "read op expected start");
+        // Transaction 1: (optional pSLC prefix,) command, address, 30h.
+        Transaction latch(req_.chip, strfmt("%s.ca c%u",
+                                            pslc_ ? "PSLC_READ" : "READ",
+                                            req_.chip));
+        latch.add(ChipControl{1u << req_.chip});
+        CaWriter head = pslc_ ? CaWriter::command(kVendorSlcPrefix)
+                                    .cmd(kRead1)
+                              : CaWriter::command(kRead1);
+        latch.add(head.addr(encodeColRow(
+                                geo,
+                                sys.ecc().flashColumnFor(req_.column),
+                                req_.row))
+                      .cmd(kRead2));
+        submitTxn(std::move(latch));
+        st_ = St::WaitCaLatch;
+        return;
+      }
+      case St::WaitCaLatch:
+        // The latch is on the wires; start polling for array readiness.
+        submitTxn(makeStatusPoll());
+        st_ = St::WaitStatus;
+        return;
+      case St::WaitStatus: {
+        if (!(lastStatus() & status::kRdy)) {
+            submitTxn(makeStatusPoll()); // not ready: poll again
+            return;
+        }
+        // Ready: change read column and transfer the data out.
+        std::uint32_t flash_col = sys.ecc().flashColumnFor(req_.column);
+        Transaction xfer(req_.chip, strfmt("%s.xfer c%u",
+                                           pslc_ ? "PSLC_READ" : "READ",
+                                           req_.chip));
+        xfer.priority = 1;
+        xfer.add(ChipControl{1u << req_.chip});
+        xfer.add(CaWriter::command(kChangeReadCol1)
+                     .addr(encodeColumn(geo, flash_col))
+                     .cmd(kChangeReadCol2));
+        DataReader dr;
+        dr.bytes = sys.ecc().flashBytesFor(req_.dataBytes);
+        dr.toDram = true;
+        dr.dramAddr = req_.dramAddr;
+        dr.eccCorrect = true;
+        dr.pageColumn = flash_col;
+        xfer.add(dr);
+        submitTxn(std::move(xfer));
+        st_ = St::WaitTransfer;
+        return;
+      }
+      case St::WaitTransfer:
+        res_.correctedBits = lastTxn().eccCorrectedBits;
+        res_.failedCodewords = lastTxn().eccFailedCodewords;
+        res_.ok = lastTxn().eccFailedCodewords == 0;
+        finish(res_);
+        return;
+    }
+    panic("read op in impossible state");
+}
+// LOC:END RTOS_READ
+
+// --------------------------------------------------------------------
+// PROGRAM
+// --------------------------------------------------------------------
+// LOC:BEGIN RTOS_PROGRAM
+RtosProgramOp::RtosProgramOp(RtosController &ctrl, std::uint64_t id,
+                             FlashRequest req, bool pslc)
+    : RtosOpBase(ctrl, id,
+                 [&] {
+                     if (req.dataBytes == 0) {
+                         req.dataBytes = ctrl.system()
+                                             .config()
+                                             .package.geometry.pageDataBytes;
+                     }
+                     return std::move(req);
+                 }(),
+                 strfmt("prog.c%u", req.chip), 1),
+      pslc_(pslc)
+{}
+
+void
+RtosProgramOp::onMessage(cpu::RtosKernel &kernel, std::uint64_t msg)
+{
+    ChannelSystem &sys = ctrl_.system();
+    const Geometry &geo = sys.config().package.geometry;
+
+    switch (st_) {
+      case St::Idle: {
+        babol_assert(msg == rtos_msg::kStart, "program op expected start");
+        Transaction txn(req_.chip, strfmt("PROGRAM c%u", req_.chip));
+        txn.add(ChipControl{1u << req_.chip});
+        CaWriter head = pslc_ ? CaWriter::command(kVendorSlcPrefix)
+                                    .cmd(kProgram1)
+                              : CaWriter::command(kProgram1);
+        txn.add(head.addr(encodeColRow(
+            geo, sys.ecc().flashColumnFor(req_.column), req_.row)));
+        txn.add(DataWriter{.dramAddr = req_.dramAddr,
+                           .bytes = req_.dataBytes,
+                           .eccEncode = true,
+                           .inlineData = {}});
+        txn.add(CaWriter::command(kProgram2));
+        submitTxn(std::move(txn));
+        st_ = St::WaitProgram;
+        return;
+      }
+      case St::WaitProgram:
+        submitTxn(makeStatusPoll());
+        st_ = St::WaitStatus;
+        return;
+      case St::WaitStatus:
+        if (!(lastStatus() & status::kRdy)) {
+            submitTxn(makeStatusPoll());
+            return;
+        }
+        res_.flashFail = lastStatus() & status::kFail;
+        res_.ok = !res_.flashFail;
+        finish(res_);
+        return;
+    }
+    panic("program op in impossible state");
+}
+// LOC:END RTOS_PROGRAM
+
+// --------------------------------------------------------------------
+// ERASE
+// --------------------------------------------------------------------
+// LOC:BEGIN RTOS_ERASE
+RtosEraseOp::RtosEraseOp(RtosController &ctrl, std::uint64_t id,
+                         FlashRequest req, bool slc_mode)
+    : RtosOpBase(ctrl, id, std::move(req), strfmt("erase.c%u", req.chip),
+                 0),
+      slcMode_(slc_mode)
+{}
+
+void
+RtosEraseOp::onMessage(cpu::RtosKernel &kernel, std::uint64_t msg)
+{
+    const Geometry &geo = ctrl_.system().config().package.geometry;
+
+    switch (st_) {
+      case St::Idle: {
+        babol_assert(msg == rtos_msg::kStart, "erase op expected start");
+        Transaction txn(req_.chip, strfmt("ERASE c%u", req_.chip));
+        txn.add(ChipControl{1u << req_.chip});
+        CaWriter head = slcMode_ ? CaWriter::command(kVendorSlcPrefix)
+                                       .cmd(kErase1)
+                                 : CaWriter::command(kErase1);
+        txn.add(head.addr(encodeRow(geo, req_.row)).cmd(kErase2));
+        submitTxn(std::move(txn));
+        st_ = St::WaitErase;
+        return;
+      }
+      case St::WaitErase:
+        submitTxn(makeStatusPoll());
+        st_ = St::WaitStatus;
+        return;
+      case St::WaitStatus:
+        if (!(lastStatus() & status::kRdy)) {
+            submitTxn(makeStatusPoll());
+            return;
+        }
+        res_.flashFail = lastStatus() & status::kFail;
+        res_.ok = !res_.flashFail;
+        finish(res_);
+        return;
+    }
+    panic("erase op in impossible state");
+}
+// LOC:END RTOS_ERASE
+
+} // namespace babol::core

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Cycle costs of the software environments' primitives.
+ *
+ * These constants are the calibration layer between our simulation and
+ * the paper's measured hardware (DESIGN.md §4). The coroutine numbers
+ * make one polling cycle — build a READ STATUS transaction, enqueue it,
+ * take the completion interrupt, resume the coroutine, and run one
+ * scheduler pass — cost ≈30k cycles, i.e. the ~30 µs per poll the paper
+ * measured on a 1 GHz ARM (Fig. 11 bottom). The RTOS environment's
+ * tighter runtime does the same in ≈6k cycles, matching the markedly
+ * higher polling frequency in Fig. 11 top.
+ */
+
+#ifndef BABOL_CORE_SOFT_COSTS_HH
+#define BABOL_CORE_SOFT_COSTS_HH
+
+#include <cstdint>
+
+namespace babol::core {
+
+struct SoftwareCosts
+{
+    /** Task-scheduler work to admit one operation. */
+    std::uint64_t taskAdmit = 0;
+    /** Building one transaction (lambda capture, instruction vector). */
+    std::uint64_t buildTransaction = 0;
+    /** Enqueueing to the transaction scheduler + doorbell. */
+    std::uint64_t submitToHw = 0;
+    /** Completion interrupt entry and demux. */
+    std::uint64_t completionIsr = 0;
+    /** Switching into a task/coroutine. */
+    std::uint64_t contextSwitch = 0;
+    /** One transaction-scheduler pass (pick + dispatch). */
+    std::uint64_t schedulerPass = 0;
+
+    /** Extra cycles per additional transaction dispatched in one
+     *  scheduler pass (batched dispatch amortizes under load). */
+    std::uint64_t dispatchExtra = 0;
+
+    /** Cost of a full poll cycle (used for sanity checks in tests). */
+    std::uint64_t
+    pollCycle() const
+    {
+        return buildTransaction + submitToHw + completionIsr +
+               contextSwitch + schedulerPass;
+    }
+
+    /**
+     * C++20-coroutine environment on a full C++ runtime. The weight
+     * sits in the scheduler pass: on an idle channel every poll pays it
+     * in full (the measured ~30 µs/poll of Fig. 11), while under load
+     * one pass dispatches several transactions and the per-transaction
+     * cost drops — the §VI-A effect that makes the coroutine stack
+     * viable on busy channels.
+     */
+    static SoftwareCosts
+    coroutine()
+    {
+        return {2500, 6000, 2000, 3500, 4000, 14000, 2000};
+    }
+
+    /** FreeRTOS-style environment: leaner, more demanding to program. */
+    static SoftwareCosts
+    rtos()
+    {
+        return {600, 1200, 400, 700, 800, 2800, 400};
+    }
+};
+
+} // namespace babol::core
+
+#endif // BABOL_CORE_SOFT_COSTS_HH

@@ -1,0 +1,67 @@
+#include "soft_runtime.hh"
+
+namespace babol::core {
+
+SoftRuntime::SoftRuntime(EventQueue &eq, const std::string &name,
+                         cpu::CpuModel &cpu, ExecUnit &exec,
+                         std::unique_ptr<TransactionScheduler> txn_sched,
+                         SoftwareCosts costs)
+    : SimObject(eq, name),
+      cpu_(cpu),
+      exec_(exec),
+      txnSched_(std::move(txn_sched)),
+      costs_(costs)
+{
+    babol_assert(txnSched_ != nullptr, "runtime needs a txn scheduler");
+    exec_.setSpaceCallback([this] { kickPump(); });
+}
+
+void
+SoftRuntime::submitTransaction(Transaction txn)
+{
+    ++submitted_;
+    // High-priority transactions (data transfers) ride the interrupt-
+    // side CPU lane so a ready page never waits behind polling work.
+    cpu::CpuPriority prio = txn.priority > 0 ? cpu::CpuPriority::High
+                                             : cpu::CpuPriority::Normal;
+    auto holder = std::make_shared<Transaction>(std::move(txn));
+    cpu_.execute(costs_.buildTransaction + costs_.submitToHw,
+                 [this, holder] {
+        txnSched_->enqueue(std::move(*holder));
+        kickPump();
+    }, "txn build+submit", prio);
+}
+
+void
+SoftRuntime::kickPump()
+{
+    if (pumpPending_)
+        return;
+    if (txnSched_->pendingCount() == 0)
+        return;
+    if (!exec_.hasSpace())
+        return; // re-kicked by the exec unit's space callback
+    pumpPending_ = true;
+    cpu_.execute(costs_.schedulerPass, [this] {
+        pumpPending_ = false;
+        ++schedPasses_;
+        // One pass drains as many ready transactions as the hardware
+        // FIFO can take; the extra dispatches are cheap relative to the
+        // pass itself (queue-walk amortization).
+        std::uint32_t dispatched = 0;
+        while (exec_.hasSpace()) {
+            auto txn = txnSched_->pickNext();
+            if (!txn)
+                break;
+            exec_.push(std::move(*txn));
+            ++dispatched;
+        }
+        if (dispatched > 1) {
+            cpu_.execute(costs_.dispatchExtra * (dispatched - 1), [] {},
+                         "txn dispatch extras", cpu::CpuPriority::High);
+        }
+        kickPump();
+    }, "txn scheduler pass", cpu::CpuPriority::High);
+}
+
+} // namespace babol::core

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Transactions: atomic, queueable groups of waveform instructions.
+ *
+ * A transaction is never descheduled once its waveform segment starts
+ * (paper §II). Software builds transactions ahead of time and enqueues
+ * them; the Transaction Scheduler decides their order; the Operation
+ * Execution unit turns them into bus segments. The completion callback
+ * re-enters the software environment (coroutine resume or RTOS message).
+ */
+
+#ifndef BABOL_CORE_TRANSACTION_HH
+#define BABOL_CORE_TRANSACTION_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "instruction.hh"
+
+namespace babol::core {
+
+/** What a finished transaction hands back to the operation logic. */
+struct TxnResult
+{
+    /** Bytes captured by inline (non-DMA) Data Reader instructions. */
+    std::vector<std::uint8_t> inlineData;
+
+    /** ECC outcome for DMA-ed reads with correction enabled. */
+    std::uint32_t eccCorrectedBits = 0;
+    std::uint32_t eccFailedCodewords = 0;
+};
+
+struct Transaction
+{
+    /** Target chip (CE index) — used by schedulers for fairness; the
+     *  actual CE selection comes from the ChipControl instruction. */
+    std::uint32_t chip = 0;
+
+    /** Scheduling priority (higher first, policy permitting). */
+    int priority = 0;
+
+    /** Trace label, e.g. "READ_STATUS chip2". */
+    std::string label;
+
+    std::vector<Instruction> instructions;
+
+    /** Called when the segment (and any DMA) completes. */
+    std::function<void(TxnResult)> onComplete;
+
+    Transaction() = default;
+    Transaction(std::uint32_t chip_, std::string label_)
+        : chip(chip_), label(std::move(label_))
+    {}
+
+    Transaction &
+    add(Instruction ins)
+    {
+        instructions.push_back(std::move(ins));
+        return *this;
+    }
+};
+
+} // namespace babol::core
+
+#endif // BABOL_CORE_TRANSACTION_HH

@@ -1,0 +1,88 @@
+#include "rtos.hh"
+
+#include <algorithm>
+
+namespace babol::cpu {
+
+RtosKernel::RtosKernel(EventQueue &eq, const std::string &name,
+                       CpuModel &cpu, RtosCosts costs)
+    : SimObject(eq, name), cpu_(cpu), costs_(costs)
+{}
+
+void
+RtosKernel::createTask(RtosTask *task)
+{
+    babol_assert(task != nullptr, "null task");
+    babol_assert(!alive_.count(task), "task '%s' registered twice",
+                 task->taskName().c_str());
+    alive_.insert(task);
+    cpu_.execute(costs_.taskCreate, [] {}, "rtos task create");
+}
+
+void
+RtosKernel::destroyTask(RtosTask *task)
+{
+    alive_.erase(task);
+}
+
+void
+RtosKernel::enqueue(RtosTask *to, std::uint64_t msg)
+{
+    babol_assert(alive_.count(to), "message to unregistered task");
+    pending_.push_back({to, msg, nextSeq_++});
+    pump();
+}
+
+void
+RtosKernel::send(RtosTask *to, std::uint64_t msg)
+{
+    cpu_.execute(costs_.queueSend, [] {}, "rtos queue send");
+    enqueue(to, msg);
+}
+
+void
+RtosKernel::sendFromIsr(RtosTask *to, std::uint64_t msg)
+{
+    cpu_.execute(costs_.isrEntry + costs_.queueSend, [] {},
+                 "rtos isr send", CpuPriority::High);
+    enqueue(to, msg);
+}
+
+void
+RtosKernel::pump()
+{
+    if (dispatchScheduled_ || pending_.empty())
+        return;
+    dispatchScheduled_ = true;
+    cpu_.execute(costs_.contextSwitch + costs_.queueReceive,
+                 [this] { dispatchOne(); }, "rtos dispatch");
+}
+
+void
+RtosKernel::dispatchOne()
+{
+    dispatchScheduled_ = false;
+    if (pending_.empty())
+        return;
+
+    // Pick the highest-priority pending message (FIFO within a priority),
+    // as a preemptive-priority kernel would.
+    auto best = pending_.begin();
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (it->task->priority() > best->task->priority() ||
+            (it->task->priority() == best->task->priority() &&
+             it->seq < best->seq)) {
+            best = it;
+        }
+    }
+    Pending p = *best;
+    pending_.erase(best);
+
+    if (alive_.count(p.task)) {
+        ++delivered_;
+        p.task->onMessage(*this, p.msg);
+    }
+    pump();
+}
+
+} // namespace babol::cpu

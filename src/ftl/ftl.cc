@@ -1,0 +1,384 @@
+#include "ftl.hh"
+
+#include <algorithm>
+
+namespace babol::ftl {
+
+using core::FlashOpKind;
+using core::FlashRequest;
+using core::OpResult;
+
+PageFtl::PageFtl(EventQueue &eq, const std::string &name,
+                 core::FlashBackend &backend, FtlConfig cfg)
+    : SimObject(eq, name),
+      backend_(backend),
+      cfg_(cfg),
+      pageBytes_(backend.backendGeometry().pageDataBytes),
+      pagesPerBlock_(backend.backendGeometry().pagesPerBlock)
+{
+    const std::uint32_t chips = backend_.backendChipCount();
+    babol_assert(cfg_.blocksPerChip <=
+                     backend_.backendGeometry().blocksPerLun(),
+                 "FTL wants %u blocks/chip but the package has %u",
+                 cfg_.blocksPerChip,
+                 backend_.backendGeometry().blocksPerLun());
+
+    auto usable = static_cast<std::uint32_t>(
+        cfg_.blocksPerChip * (1.0 - cfg_.overprovision));
+    babol_assert(usable >= 1, "over-provisioning leaves no usable blocks");
+    logicalPages_ = static_cast<std::uint64_t>(chips) * usable *
+                    pagesPerBlock_;
+    map_.assign(logicalPages_, kUnmapped);
+
+    chips_.resize(chips);
+    for (auto &chip : chips_) {
+        chip.blocks.resize(cfg_.blocksPerChip);
+        for (std::uint32_t b = 0; b < cfg_.blocksPerChip; ++b) {
+            chip.blocks[b].pageLpn.assign(pagesPerBlock_, kUnmapped);
+            chip.freeBlocks.push_back(b);
+        }
+    }
+
+    // GC staging buffer lives at the top of DRAM.
+    babol_assert(backend_.backendDram().size() >= pageBytes_,
+                 "DRAM too small for the GC scratch page");
+    gcScratchAddr_ = backend_.backendDram().size() - pageBytes_;
+}
+
+std::uint64_t
+PageFtl::packPpa(const Ppa &p) const
+{
+    return (static_cast<std::uint64_t>(p.chip) << 40) |
+           (static_cast<std::uint64_t>(p.block) << 20) | p.page;
+}
+
+Ppa
+PageFtl::unpackPpa(std::uint64_t packed) const
+{
+    Ppa p;
+    p.chip = static_cast<std::uint32_t>(packed >> 40);
+    p.block = static_cast<std::uint32_t>((packed >> 20) & 0xFFFFF);
+    p.page = static_cast<std::uint32_t>(packed & 0xFFFFF);
+    return p;
+}
+
+bool
+PageFtl::isMapped(std::uint64_t lpn) const
+{
+    return lpn < map_.size() && map_[lpn] != kUnmapped;
+}
+
+std::uint32_t
+PageFtl::maxEraseCount(std::uint32_t chip) const
+{
+    std::uint32_t most = 0;
+    for (const BlockInfo &bi : chips_[chip].blocks)
+        most = std::max(most, bi.eraseCount);
+    return most;
+}
+
+std::uint32_t
+PageFtl::minFreeEraseCount(std::uint32_t chip) const
+{
+    std::uint32_t least = ~0u;
+    for (std::uint32_t b : chips_[chip].freeBlocks)
+        least = std::min(least, chips_[chip].blocks[b].eraseCount);
+    return least;
+}
+
+void
+PageFtl::readPage(std::uint64_t lpn, std::uint64_t dram_addr, Callback cb)
+{
+    babol_assert(lpn < logicalPages_, "LPN %llu out of range",
+                 static_cast<unsigned long long>(lpn));
+    if (map_[lpn] == kUnmapped) {
+        warn("%s: read of unmapped LPN %llu", name().c_str(),
+             static_cast<unsigned long long>(lpn));
+        eq_.scheduleIn(0, [cb] { cb(false); }, "ftl unmapped read");
+        return;
+    }
+    ++hostReads_;
+    Ppa ppa = unpackPpa(map_[lpn]);
+
+    FlashRequest req;
+    req.kind = FlashOpKind::Read;
+    req.chip = ppa.chip;
+    req.row = {0, ppa.block, ppa.page};
+    req.dramAddr = dram_addr;
+    req.onComplete = [cb](OpResult r) { cb(r.ok); };
+    backend_.submit(std::move(req));
+}
+
+void
+PageFtl::writePage(std::uint64_t lpn, std::uint64_t dram_addr, Callback cb)
+{
+    babol_assert(lpn < logicalPages_, "LPN %llu out of range",
+                 static_cast<unsigned long long>(lpn));
+    ++hostWrites_;
+    allocateAndWrite(lpn, dram_addr, std::move(cb));
+}
+
+void
+PageFtl::allocateAndWrite(std::uint64_t lpn, std::uint64_t dram_addr,
+                          Callback cb, std::uint32_t retries)
+{
+    std::uint32_t chip = writeCursor_ % chips_.size();
+    writeCursor_ = (writeCursor_ + 1) %
+                   static_cast<std::uint32_t>(chips_.size());
+    chips_[chip].writeQueue.push_back(
+        {lpn, dram_addr, std::move(cb), retries});
+    pumpWrites(chip);
+}
+
+bool
+PageFtl::ensureActiveBlock(std::uint32_t chip)
+{
+    ChipState &cs = chips_[chip];
+    if (cs.activeBlock >= 0 &&
+        cs.blocks[cs.activeBlock].written < pagesPerBlock_) {
+        return true;
+    }
+    if (cs.freeBlocks.empty())
+        return false;
+
+    // Dynamic wear levelling: take the coldest free block.
+    auto best = cs.freeBlocks.begin();
+    for (auto it = cs.freeBlocks.begin(); it != cs.freeBlocks.end(); ++it) {
+        if (cs.blocks[*it].eraseCount < cs.blocks[*best].eraseCount)
+            best = it;
+    }
+    cs.activeBlock = static_cast<std::int32_t>(*best);
+    cs.freeBlocks.erase(best);
+    return true;
+}
+
+void
+PageFtl::retireBlock(std::uint32_t chip, std::uint32_t block)
+{
+    ChipState &cs = chips_[chip];
+    BlockInfo &bi = cs.blocks[block];
+    warn("%s: retiring chip %u block %u after %u erases", name().c_str(),
+         chip, block, bi.eraseCount);
+    bi.bad = true;
+    bi.erased = false;
+    ++retired_;
+    if (cs.activeBlock == static_cast<std::int32_t>(block))
+        cs.activeBlock = -1;
+    auto it = std::find(cs.freeBlocks.begin(), cs.freeBlocks.end(), block);
+    if (it != cs.freeBlocks.end())
+        cs.freeBlocks.erase(it);
+}
+
+void
+PageFtl::startEraseBeforeUse(std::uint32_t chip, std::uint32_t block)
+{
+    ChipState &cs = chips_[chip];
+    if (cs.erasePending)
+        return;
+    cs.erasePending = true;
+    ++erases_;
+
+    FlashRequest req;
+    req.kind = FlashOpKind::Erase;
+    req.chip = chip;
+    req.row = {0, block, 0};
+    req.onComplete = [this, chip, block](OpResult r) {
+        ChipState &state = chips_[chip];
+        state.erasePending = false;
+        BlockInfo &bi = state.blocks[block];
+        if (!r.ok) {
+            // Worn out: take it out of service; queued writes re-route
+            // through the next pumpWrites pass.
+            retireBlock(chip, block);
+        } else {
+            bi.erased = true;
+            ++bi.eraseCount;
+            bi.written = 0;
+            bi.programmed = 0;
+            bi.valid = 0;
+            std::fill(bi.pageLpn.begin(), bi.pageLpn.end(), kUnmapped);
+        }
+        pumpWrites(chip);
+    };
+    backend_.submit(std::move(req));
+}
+
+void
+PageFtl::pumpWrites(std::uint32_t chip)
+{
+    ChipState &cs = chips_[chip];
+    while (!cs.writeQueue.empty()) {
+        if (!ensureActiveBlock(chip)) {
+            if (!cs.gcInProgress && !cs.erasePending) {
+                fatal("%s: chip %u out of free blocks (GC could not keep "
+                      "up — raise over-provisioning)",
+                      name().c_str(), chip);
+            }
+            return; // GC or an erase will re-pump
+        }
+        auto block = static_cast<std::uint32_t>(cs.activeBlock);
+        BlockInfo &bi = cs.blocks[block];
+        if (!bi.erased) {
+            startEraseBeforeUse(chip, block);
+            return; // resume when the erase lands
+        }
+
+        PendingWrite write = std::move(cs.writeQueue.front());
+        cs.writeQueue.pop_front();
+
+        std::uint32_t page = bi.written++;
+        bi.pageLpn[page] = write.lpn;
+        ++bi.valid;
+
+        FlashRequest req;
+        req.kind = FlashOpKind::Program;
+        req.chip = chip;
+        req.row = {0, block, page};
+        req.dramAddr = write.dramAddr;
+        req.onComplete = [this, chip, block, page,
+                          write = std::move(write)](OpResult r) mutable {
+            BlockInfo &info = chips_[chip].blocks[block];
+            ++info.programmed;
+            if (r.ok) {
+                invalidate(write.lpn);
+                map_[write.lpn] = packPpa({chip, block, page});
+                write.cb(true);
+            } else {
+                // Program failure: drop the reservation, retire the
+                // block, and re-route the write elsewhere.
+                info.pageLpn[page] = kUnmapped;
+                --info.valid;
+                retireBlock(chip, block);
+                if (write.retries + 1 > cfg_.maxWriteRetries) {
+                    warn("%s: write of LPN %llu failed %u times; giving "
+                         "up",
+                         name().c_str(),
+                         static_cast<unsigned long long>(write.lpn),
+                         write.retries + 1);
+                    write.cb(false);
+                } else {
+                    allocateAndWrite(write.lpn, write.dramAddr,
+                                     std::move(write.cb),
+                                     write.retries + 1);
+                }
+            }
+            maybeStartGc(chip);
+        };
+        backend_.submit(std::move(req));
+    }
+}
+
+void
+PageFtl::invalidate(std::uint64_t lpn)
+{
+    if (map_[lpn] == kUnmapped)
+        return;
+    Ppa old = unpackPpa(map_[lpn]);
+    BlockInfo &bi = chips_[old.chip].blocks[old.block];
+    babol_assert(bi.pageLpn[old.page] == lpn, "reverse map corrupt");
+    bi.pageLpn[old.page] = kUnmapped;
+    --bi.valid;
+    map_[lpn] = kUnmapped;
+}
+
+void
+PageFtl::maybeStartGc(std::uint32_t chip)
+{
+    ChipState &cs = chips_[chip];
+    if (cs.gcInProgress || cs.freeBlocks.size() >= cfg_.gcLowWater)
+        return;
+
+    // Greedy victim selection: the fully-programmed block with the
+    // fewest valid pages (never the active block, never a bad one).
+    std::int32_t victim = -1;
+    std::uint32_t best_valid = ~0u;
+    for (std::uint32_t b = 0; b < cs.blocks.size(); ++b) {
+        if (static_cast<std::int32_t>(b) == cs.activeBlock)
+            continue;
+        const BlockInfo &bi = cs.blocks[b];
+        if (bi.bad || !bi.erased || bi.programmed < pagesPerBlock_)
+            continue;
+        if (bi.valid < best_valid) {
+            best_valid = bi.valid;
+            victim = static_cast<std::int32_t>(b);
+        }
+    }
+    // A victim with no invalid pages frees nothing — wait for real
+    // invalidations instead of churning.
+    if (victim < 0 || best_valid >= pagesPerBlock_)
+        return;
+
+    cs.gcInProgress = true;
+    ++gcRuns_;
+    gcMoveNext(chip, static_cast<std::uint32_t>(victim), 0);
+}
+
+void
+PageFtl::gcMoveNext(std::uint32_t chip, std::uint32_t victim,
+                    std::uint32_t page)
+{
+    ChipState &cs = chips_[chip];
+    BlockInfo &bi = cs.blocks[victim];
+
+    // Skip invalid pages.
+    while (page < pagesPerBlock_ && bi.pageLpn[page] == kUnmapped)
+        ++page;
+
+    if (page >= pagesPerBlock_) {
+        // All valid pages relocated: reclaim the block.
+        ++erases_;
+        FlashRequest req;
+        req.kind = FlashOpKind::Erase;
+        req.chip = chip;
+        req.row = {0, victim, 0};
+        req.onComplete = [this, chip, victim](OpResult r) {
+            ChipState &state = chips_[chip];
+            BlockInfo &info = state.blocks[victim];
+            if (r.ok) {
+                info.erased = true;
+                ++info.eraseCount;
+                info.written = 0;
+                info.programmed = 0;
+                info.valid = 0;
+                std::fill(info.pageLpn.begin(), info.pageLpn.end(),
+                          kUnmapped);
+                state.freeBlocks.push_back(victim);
+            } else {
+                retireBlock(chip, victim);
+            }
+            state.gcInProgress = false;
+            maybeStartGc(chip);
+            pumpWrites(chip);
+        };
+        backend_.submit(std::move(req));
+        return;
+    }
+
+    // Relocate one page: read into the scratch buffer, rewrite at the
+    // current write frontier, continue with the next page.
+    std::uint64_t lpn = bi.pageLpn[page];
+    ++gcPageMoves_;
+    FlashRequest req;
+    req.kind = FlashOpKind::Read;
+    req.chip = chip;
+    req.row = {0, victim, page};
+    req.dramAddr = gcScratchAddr_;
+    req.onComplete = [this, chip, victim, page, lpn](OpResult r) {
+        if (!r.ok) {
+            warn("%s: GC read of block %u page %u failed; data lost",
+                 name().c_str(), victim, page);
+            invalidate(lpn);
+            gcMoveNext(chip, victim, page + 1);
+            return;
+        }
+        allocateAndWrite(lpn, gcScratchAddr_, [this, chip, victim,
+                                               page](bool ok) {
+            if (!ok)
+                warn("%s: GC rewrite failed", name().c_str());
+            gcMoveNext(chip, victim, page + 1);
+        });
+    };
+    backend_.submit(std::move(req));
+}
+
+} // namespace babol::ftl

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * A page-mapped Flash Translation Layer.
+ *
+ * The FTL is a substrate in this reproduction (the paper swaps only the
+ * Storage Controller), so it is deliberately conventional:
+ *
+ *  - an LPN→PPN map with way-striped allocation (sequential LPNs land
+ *    on successive chips, like the Cosmos+ firmware),
+ *  - erase-before-use block management with per-chip write queues,
+ *  - greedy garbage collection (min-valid victim),
+ *  - dynamic wear levelling (allocation prefers the coldest free
+ *    block), and
+ *  - bad-block retirement: blocks whose erase or program fails are
+ *    taken out of service and in-flight writes re-routed.
+ *
+ * It runs on any FlashBackend — a single channel controller or a
+ * multi-channel Ssd.
+ */
+
+#ifndef BABOL_FTL_FTL_HH
+#define BABOL_FTL_FTL_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "core/flash_backend.hh"
+#include "sim/sim_object.hh"
+
+namespace babol::ftl {
+
+struct FtlConfig
+{
+    /** Blocks per chip the FTL manages (a slice keeps tests fast). */
+    std::uint32_t blocksPerChip = 64;
+
+    /** Reserve this fraction of blocks as over-provisioning for GC. */
+    double overprovision = 0.125;
+
+    /** Start GC when a chip's free-block pool drops this low. */
+    std::uint32_t gcLowWater = 2;
+
+    /** Give up on a host write after this many bad-block reroutes. */
+    std::uint32_t maxWriteRetries = 3;
+};
+
+/** A physical page address. */
+struct Ppa
+{
+    std::uint32_t chip = 0;
+    std::uint32_t block = 0;
+    std::uint32_t page = 0;
+};
+
+class PageFtl : public SimObject
+{
+  public:
+    using Callback = std::function<void(bool ok)>;
+
+    PageFtl(EventQueue &eq, const std::string &name,
+            core::FlashBackend &backend, FtlConfig cfg = {});
+
+    /** Logical pages this FTL exposes. */
+    std::uint64_t logicalPages() const { return logicalPages_; }
+
+    std::uint32_t pageBytes() const { return pageBytes_; }
+
+    /** Read one logical page into DRAM at @p dram_addr. */
+    void readPage(std::uint64_t lpn, std::uint64_t dram_addr, Callback cb);
+
+    /** Write one logical page from DRAM at @p dram_addr. */
+    void writePage(std::uint64_t lpn, std::uint64_t dram_addr, Callback cb);
+
+    /** True when the LPN has ever been written. */
+    bool isMapped(std::uint64_t lpn) const;
+
+    /** The flash back end this FTL drives. */
+    core::FlashBackend &backend() { return backend_; }
+
+    // --- Stats / introspection ---
+    std::uint64_t hostReads() const { return hostReads_; }
+    std::uint64_t hostWrites() const { return hostWrites_; }
+    std::uint64_t gcRuns() const { return gcRuns_; }
+    std::uint64_t gcPageMoves() const { return gcPageMoves_; }
+    std::uint64_t erasesIssued() const { return erases_; }
+    std::uint64_t blocksRetired() const { return retired_; }
+
+    /** Spread of per-block erase counts on a chip (wear levelling). */
+    std::uint32_t maxEraseCount(std::uint32_t chip) const;
+    std::uint32_t minFreeEraseCount(std::uint32_t chip) const;
+
+  private:
+    static constexpr std::uint64_t kUnmapped = ~std::uint64_t(0);
+
+    struct BlockInfo
+    {
+        std::vector<std::uint64_t> pageLpn; //!< lpn per page (reverse map)
+        std::uint32_t written = 0;          //!< pages reserved for writes
+        std::uint32_t programmed = 0;       //!< programs actually landed
+        std::uint32_t valid = 0;            //!< still-mapped pages
+        std::uint32_t eraseCount = 0;
+        bool erased = false;
+        bool bad = false;
+    };
+
+    struct PendingWrite
+    {
+        std::uint64_t lpn;
+        std::uint64_t dramAddr;
+        Callback cb;
+        std::uint32_t retries = 0;
+    };
+
+    struct ChipState
+    {
+        std::vector<BlockInfo> blocks;
+        std::deque<std::uint32_t> freeBlocks;
+        std::deque<PendingWrite> writeQueue;
+        std::int32_t activeBlock = -1;
+        bool erasePending = false;
+        bool gcInProgress = false;
+    };
+
+    void allocateAndWrite(std::uint64_t lpn, std::uint64_t dram_addr,
+                          Callback cb, std::uint32_t retries = 0);
+    void pumpWrites(std::uint32_t chip);
+    bool ensureActiveBlock(std::uint32_t chip);
+    void startEraseBeforeUse(std::uint32_t chip, std::uint32_t block);
+    void retireBlock(std::uint32_t chip, std::uint32_t block);
+    void maybeStartGc(std::uint32_t chip);
+    void gcMoveNext(std::uint32_t chip, std::uint32_t victim,
+                    std::uint32_t page);
+    void invalidate(std::uint64_t lpn);
+
+    core::FlashBackend &backend_;
+    FtlConfig cfg_;
+    std::uint32_t pageBytes_;
+    std::uint32_t pagesPerBlock_;
+    std::uint64_t logicalPages_;
+
+    std::vector<std::uint64_t> map_; //!< lpn -> packed ppa or kUnmapped
+    std::vector<ChipState> chips_;
+    std::uint32_t writeCursor_ = 0; //!< round-robin chip for striping
+
+    /** Scratch DRAM region for GC page moves (top of the buffer). */
+    std::uint64_t gcScratchAddr_;
+
+    std::uint64_t hostReads_ = 0;
+    std::uint64_t hostWrites_ = 0;
+    std::uint64_t gcRuns_ = 0;
+    std::uint64_t gcPageMoves_ = 0;
+    std::uint64_t erases_ = 0;
+    std::uint64_t retired_ = 0;
+
+    std::uint64_t packPpa(const Ppa &p) const;
+    Ppa unpackPpa(std::uint64_t packed) const;
+};
+
+} // namespace babol::ftl
+
+#endif // BABOL_FTL_FTL_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A fio-like host workload engine.
+ *
+ * Drives the FTL the way the paper drives the Cosmos+ with fio (§VI-C):
+ * sequential or random page-sized I/O at a configurable queue depth,
+ * reporting bandwidth and latency percentiles. Also provides the
+ * preconditioning fill that initializes the device with data.
+ */
+
+#ifndef BABOL_HOST_FIO_HH
+#define BABOL_HOST_FIO_HH
+
+#include <functional>
+
+#include "ftl/ftl.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+
+namespace babol::host {
+
+struct FioConfig
+{
+    enum class Pattern { Sequential, Random };
+
+    Pattern pattern = Pattern::Sequential;
+    bool write = false;
+
+    /** Outstanding I/Os kept in flight. */
+    std::uint32_t queueDepth = 32;
+
+    /** Logical pages touched (the working extent starts at LPN 0). */
+    std::uint64_t extentPages = 0; //!< 0 = the FTL's whole space
+
+    /** Total I/Os to issue. */
+    std::uint64_t totalIos = 1024;
+
+    std::uint64_t seed = 42;
+
+    /** DRAM base for the per-slot staging buffers. */
+    std::uint64_t dramBase = 0;
+};
+
+class FioEngine : public SimObject
+{
+  public:
+    FioEngine(EventQueue &eq, const std::string &name, ftl::PageFtl &ftl,
+              FioConfig cfg);
+
+    /** Kick off the run; @p on_done fires after the last completion. */
+    void start(std::function<void()> on_done);
+
+    /**
+     * Sequentially write LPNs [0, pages) to precondition the device
+     * (queue depth applies); @p on_done fires when the fill completes.
+     */
+    void fill(std::uint64_t pages, std::function<void()> on_done);
+
+    // --- Results ---
+    double bandwidthMBps() const;
+    double iops() const;
+    const Distribution &latencyUs() const { return latencyUs_; }
+    std::uint64_t completed() const { return completed_; }
+    std::uint64_t errors() const { return errors_; }
+    Tick elapsed() const { return endTick_ - startTick_; }
+
+  private:
+    void issueNext(std::uint32_t slot);
+    std::uint64_t nextLpn();
+
+    ftl::PageFtl &ftl_;
+    FioConfig cfg_;
+    Rng rng_;
+
+    std::function<void()> onDone_;
+    std::uint64_t issued_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t errors_ = 0;
+    std::uint64_t seqCursor_ = 0;
+    std::uint32_t inFlight_ = 0;
+    Tick startTick_ = 0;
+    Tick endTick_ = 0;
+    Distribution latencyUs_;
+};
+
+} // namespace babol::host
+
+#endif // BABOL_HOST_FIO_HH

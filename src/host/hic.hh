@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The Host Interface Controller (the NVMe-facing box of the paper's
+ * Fig. 1, in simplified form).
+ *
+ * Hosts speak sectors (4 KiB); flash speaks 16 KiB pages. The HIC
+ * splits each host I/O into page-sized FTL operations, gathers partial
+ * pages through scratch buffers, and performs read-modify-write for
+ * sub-page writes. Concurrent sub-page accesses to the same logical
+ * page serialize (per-page locking), so RMW never loses updates.
+ */
+
+#ifndef BABOL_HOST_HIC_HH
+#define BABOL_HOST_HIC_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ftl/ftl.hh"
+
+namespace babol::host {
+
+/** One host I/O in sectors. */
+struct HostIo
+{
+    bool write = false;
+    std::uint64_t lba = 0;       //!< first sector
+    std::uint32_t sectors = 1;   //!< length in sectors
+    std::uint64_t dramAddr = 0;  //!< host buffer in staging DRAM
+    std::function<void(bool ok)> onComplete;
+};
+
+struct HicConfig
+{
+    std::uint32_t sectorBytes = 4096;
+
+    /** Scratch slots for partial-page gathers/RMW (bounds concurrent
+     *  sub-page operations). */
+    std::uint32_t scratchSlots = 8;
+};
+
+class Hic : public SimObject
+{
+  public:
+    Hic(EventQueue &eq, const std::string &name, ftl::PageFtl &ftl,
+        HicConfig cfg = {});
+
+    /** Sectors the device exposes. */
+    std::uint64_t totalSectors() const
+    {
+        return ftl_.logicalPages() * sectorsPerPage_;
+    }
+
+    std::uint32_t sectorBytes() const { return cfg_.sectorBytes; }
+    std::uint32_t sectorsPerPage() const { return sectorsPerPage_; }
+
+    /** Accept one host I/O. */
+    void submit(HostIo io);
+
+    // --- Stats ---
+    std::uint64_t iosCompleted() const { return iosCompleted_; }
+    std::uint64_t iosFailed() const { return iosFailed_; }
+    std::uint64_t pageOpsIssued() const { return pageOps_; }
+    std::uint64_t rmwCount() const { return rmw_; }
+
+  private:
+    /** Tracking for one split host I/O. */
+    struct IoState
+    {
+        HostIo io;
+        std::uint32_t outstanding = 0;
+        bool failed = false;
+        bool issuedAll = false;
+    };
+
+    void issuePagePiece(std::shared_ptr<IoState> state, std::uint64_t lpn,
+                        std::uint32_t first_sector,
+                        std::uint32_t sector_count,
+                        std::uint64_t host_addr);
+    void pieceDone(const std::shared_ptr<IoState> &state, bool ok);
+
+    // Per-page serialization for sub-page operations.
+    void lockPage(std::uint64_t lpn, std::function<void()> fn);
+    void unlockPage(std::uint64_t lpn);
+
+    // Scratch-slot pool.
+    void withScratch(std::function<void(std::uint64_t addr)> fn);
+    void releaseScratch(std::uint64_t addr);
+
+    ftl::PageFtl &ftl_;
+    HicConfig cfg_;
+    std::uint32_t sectorsPerPage_;
+
+    std::deque<std::uint64_t> freeScratch_;
+    std::deque<std::function<void(std::uint64_t)>> scratchWaiters_;
+
+    std::unordered_set<std::uint64_t> lockedPages_;
+    std::unordered_map<std::uint64_t, std::deque<std::function<void()>>>
+        pageWaiters_;
+
+    std::uint64_t iosCompleted_ = 0;
+    std::uint64_t iosFailed_ = 0;
+    std::uint64_t pageOps_ = 0;
+    std::uint64_t rmw_ = 0;
+};
+
+} // namespace babol::host
+
+#endif // BABOL_HOST_HIC_HH

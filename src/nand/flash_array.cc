@@ -1,0 +1,175 @@
+#include "flash_array.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace babol::nand {
+
+FlashArray::FlashArray(const Geometry &geo, std::uint64_t seed,
+                       ReliabilityParams rel)
+    : geo_(geo), rel_(rel), rng_(seed), blocks_(geo.blocksPerLun())
+{}
+
+std::uint64_t
+FlashArray::pageKey(std::uint32_t block, std::uint32_t page) const
+{
+    return static_cast<std::uint64_t>(block) * geo_.pagesPerBlock + page;
+}
+
+void
+FlashArray::checkBlock(std::uint32_t block) const
+{
+    babol_assert(block < blocks_.size(), "block %u out of range (max %zu)",
+                 block, blocks_.size());
+}
+
+void
+FlashArray::checkPage(std::uint32_t block, std::uint32_t page) const
+{
+    checkBlock(block);
+    babol_assert(page < geo_.pagesPerBlock, "page %u out of range", page);
+}
+
+ArrayStatus
+FlashArray::eraseBlock(std::uint32_t block, bool slcMode)
+{
+    checkBlock(block);
+    BlockState &bs = blocks_[block];
+    if (bs.bad)
+        return ArrayStatus::Fail;
+
+    ++bs.peCycles;
+    bs.nextPage = 0;
+    bs.slc = slcMode;
+    for (std::uint32_t p = 0; p < geo_.pagesPerBlock; ++p)
+        pages_.erase(pageKey(block, p));
+
+    // Past rated endurance, each further erase has a growing chance of a
+    // verify failure, after which the block should be retired.
+    double endurance = rel_.endurancePe *
+                       (slcMode ? rel_.slcEnduranceFactor : 1.0);
+    if (bs.peCycles > endurance) {
+        double overshoot = (bs.peCycles - endurance) / endurance;
+        if (rng_.chance(std::min(0.5, overshoot))) {
+            bs.bad = true;
+            return ArrayStatus::Fail;
+        }
+    }
+    return ArrayStatus::Ok;
+}
+
+ArrayStatus
+FlashArray::programPage(std::uint32_t block, std::uint32_t page,
+                        std::span<const std::uint8_t> data)
+{
+    checkPage(block, page);
+    babol_assert(data.size() <= geo_.pageTotalBytes(),
+                 "program data %zu exceeds page size %u", data.size(),
+                 geo_.pageTotalBytes());
+    BlockState &bs = blocks_[block];
+    if (bs.bad)
+        return ArrayStatus::Fail;
+
+    // NAND constraints: in-order programming, one program per erase.
+    if (page != bs.nextPage)
+        return ArrayStatus::ProtocolError;
+    if (pages_.count(pageKey(block, page)))
+        return ArrayStatus::ProtocolError;
+
+    std::vector<std::uint8_t> stored(geo_.pageTotalBytes(), 0xFF);
+    std::copy(data.begin(), data.end(), stored.begin());
+    pages_[pageKey(block, page)] = std::move(stored);
+    bs.nextPage = page + 1;
+    return ArrayStatus::Ok;
+}
+
+double
+FlashArray::effectiveRber(std::uint32_t block, std::uint32_t retryLevel,
+                          bool slcRead) const
+{
+    checkBlock(block);
+    const BlockState &bs = blocks_[block];
+
+    double wear = 1.0 + std::pow(bs.peCycles / rel_.wearKneePe, 2.0);
+    double rber = rel_.baseRber * wear;
+
+    std::uint32_t optimal = optimalRetryLevel(block);
+    std::uint32_t dist = retryLevel > optimal ? retryLevel - optimal
+                                              : optimal - retryLevel;
+    rber *= std::pow(rel_.retryLevelPenalty, static_cast<double>(dist));
+
+    if (bs.slc && slcRead)
+        rber *= rel_.slcRberFactor;
+    return std::min(rber, 0.5);
+}
+
+std::uint32_t
+FlashArray::optimalRetryLevel(std::uint32_t block) const
+{
+    checkBlock(block);
+    return static_cast<std::uint32_t>(blocks_[block].peCycles /
+                                      rel_.levelDriftPe);
+}
+
+PageLoad
+FlashArray::readPage(std::uint32_t block, std::uint32_t page,
+                     std::uint32_t retryLevel, bool slcRead)
+{
+    checkPage(block, page);
+
+    PageLoad load;
+    auto it = pages_.find(pageKey(block, page));
+    if (it == pages_.end()) {
+        // Erased (or never-written) pages read back as all ones with no
+        // meaningful error content.
+        load.data.assign(geo_.pageTotalBytes(), 0xFF);
+        load.programmed = false;
+        return load;
+    }
+
+    load.data = it->second;
+    load.programmed = true;
+
+    double rber = effectiveRber(block, retryLevel, slcRead);
+    std::uint64_t total_bits =
+        static_cast<std::uint64_t>(load.data.size()) * 8;
+    std::uint64_t flips = rng_.binomial(total_bits, rber);
+    load.flippedBits.reserve(flips);
+    for (std::uint64_t i = 0; i < flips; ++i) {
+        auto bit = static_cast<std::uint32_t>(
+            rng_.uniform(0, total_bits - 1));
+        load.data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        load.flippedBits.push_back(bit);
+    }
+    return load;
+}
+
+std::uint32_t
+FlashArray::peCycles(std::uint32_t block) const
+{
+    checkBlock(block);
+    return blocks_[block].peCycles;
+}
+
+bool
+FlashArray::isSlcBlock(std::uint32_t block) const
+{
+    checkBlock(block);
+    return blocks_[block].slc;
+}
+
+bool
+FlashArray::isBadBlock(std::uint32_t block) const
+{
+    checkBlock(block);
+    return blocks_[block].bad;
+}
+
+void
+FlashArray::agePeCycles(std::uint32_t block, std::uint32_t cycles)
+{
+    checkBlock(block);
+    blocks_[block].peCycles += cycles;
+}
+
+} // namespace babol::nand

@@ -1,0 +1,35 @@
+#include "onfi.hh"
+
+namespace babol::nand {
+
+const char *
+toString(DataInterface di)
+{
+    switch (di) {
+      case DataInterface::Sdr:
+        return "SDR";
+      case DataInterface::Nvddr:
+        return "NV-DDR";
+      case DataInterface::Nvddr2:
+        return "NV-DDR2";
+    }
+    return "?";
+}
+
+const char *
+toString(CycleType ct)
+{
+    switch (ct) {
+      case CycleType::CmdLatch:
+        return "CMD";
+      case CycleType::AddrLatch:
+        return "ADDR";
+      case CycleType::DataIn:
+        return "DIN";
+      case CycleType::DataOut:
+        return "DOUT";
+    }
+    return "?";
+}
+
+} // namespace babol::nand

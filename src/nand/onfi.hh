@@ -1,0 +1,112 @@
+/**
+ * @file
+ * ONFI protocol constants: operation opcodes, status bits, feature
+ * addresses, and data-interface modes.
+ *
+ * The set covers the standard operations (ONFI 5.1 §5) plus the
+ * non-standard, vendor-specific operations the paper motivates BABOL
+ * with: pseudo-SLC access, program/erase suspend, and read-retry levels.
+ * Vendor opcodes are marked as such; their encodings follow common
+ * commercial packages but are configuration, not gospel — which is
+ * exactly why a software-defined controller is needed.
+ */
+
+#ifndef BABOL_NAND_ONFI_HH
+#define BABOL_NAND_ONFI_HH
+
+#include <cstdint>
+
+namespace babol::nand {
+
+/** First/confirm opcodes of ONFI operations. */
+namespace opcode {
+
+// Reads.
+constexpr std::uint8_t kRead1 = 0x00;          //!< READ cycle 1
+constexpr std::uint8_t kRead2 = 0x30;          //!< READ confirm
+constexpr std::uint8_t kReadCacheSeq = 0x31;   //!< READ CACHE SEQUENTIAL
+constexpr std::uint8_t kReadCacheEnd = 0x3F;   //!< READ CACHE END
+constexpr std::uint8_t kReadMultiPlane = 0x32; //!< multi-plane READ confirm
+constexpr std::uint8_t kChangeReadCol1 = 0x05; //!< CHANGE READ COLUMN
+constexpr std::uint8_t kChangeReadCol2 = 0xE0; //!< CHANGE READ COLUMN confirm
+constexpr std::uint8_t kChangeReadColEnh = 0x06; //!< enhanced (plane select)
+
+// Programs.
+constexpr std::uint8_t kProgram1 = 0x80;          //!< PAGE PROGRAM cycle 1
+constexpr std::uint8_t kProgram2 = 0x10;          //!< PAGE PROGRAM confirm
+constexpr std::uint8_t kProgramCache = 0x15;      //!< PAGE CACHE PROGRAM
+constexpr std::uint8_t kProgramMultiPlane = 0x11; //!< multi-plane queue
+constexpr std::uint8_t kChangeWriteCol = 0x85;    //!< CHANGE WRITE COLUMN
+
+// Erase.
+constexpr std::uint8_t kErase1 = 0x60; //!< BLOCK ERASE cycle 1
+constexpr std::uint8_t kErase2 = 0xD0; //!< BLOCK ERASE confirm
+
+// Status / identification / configuration.
+constexpr std::uint8_t kReadStatus = 0x70;         //!< READ STATUS
+constexpr std::uint8_t kReadStatusEnhanced = 0x78; //!< READ STATUS ENHANCED
+constexpr std::uint8_t kReadId = 0x90;             //!< READ ID
+constexpr std::uint8_t kReadParamPage = 0xEC;      //!< READ PARAMETER PAGE
+constexpr std::uint8_t kReadUniqueId = 0xED;       //!< READ UNIQUE ID
+constexpr std::uint8_t kSetFeatures = 0xEF;        //!< SET FEATURES
+constexpr std::uint8_t kGetFeatures = 0xEE;        //!< GET FEATURES
+constexpr std::uint8_t kReset = 0xFF;              //!< RESET
+constexpr std::uint8_t kSynchronousReset = 0xFC;   //!< SYNCHRONOUS RESET
+
+// Vendor (non-standard) operations — the reason BABOL exists.
+constexpr std::uint8_t kVendorSlcPrefix = 0xA2;  //!< pSLC one-shot prefix
+constexpr std::uint8_t kVendorSuspend = 0xB0;    //!< program/erase suspend
+constexpr std::uint8_t kVendorResume = 0xB1;     //!< program/erase resume
+
+} // namespace opcode
+
+/** READ ID address operands. */
+namespace id_address {
+constexpr std::uint8_t kJedec = 0x00; //!< manufacturer/device bytes
+constexpr std::uint8_t kOnfi = 0x20;  //!< "ONFI" signature
+} // namespace id_address
+
+/** Status register bits (ONFI 5.1 §5.13). */
+namespace status {
+constexpr std::uint8_t kFail = 0x01;  //!< last operation failed
+constexpr std::uint8_t kFailC = 0x02; //!< previous cache operation failed
+constexpr std::uint8_t kCsp = 0x08;   //!< command specific (suspended)
+constexpr std::uint8_t kArdy = 0x20;  //!< array ready
+constexpr std::uint8_t kRdy = 0x40;   //!< LUN ready for a new command
+constexpr std::uint8_t kWp = 0x80;    //!< write protect (not asserted)
+} // namespace status
+
+/** Feature addresses for SET/GET FEATURES. */
+namespace feature {
+constexpr std::uint8_t kTimingMode = 0x01;      //!< ONFI data-interface mode
+constexpr std::uint8_t kOutputDrive = 0x10;     //!< output drive strength
+constexpr std::uint8_t kVendorReadRetry = 0x89; //!< read-retry level (vendor)
+} // namespace feature
+
+/**
+ * ONFI data-interface families. The waveform cycle timing (and hence the
+ * transfer duration the PHY computes) depends on the active mode.
+ */
+enum class DataInterface : std::uint8_t {
+    Sdr,    //!< asynchronous single data rate (boot-up default)
+    Nvddr,  //!< source-synchronous DDR
+    Nvddr2, //!< source-synchronous DDR2 (up to 533 MT/s; we use 100/200)
+};
+
+/** Printable name for a data interface. */
+const char *toString(DataInterface di);
+
+/** Kinds of bus cycles a waveform segment can carry. */
+enum class CycleType : std::uint8_t {
+    CmdLatch,  //!< command latch (CLE high)
+    AddrLatch, //!< address latch (ALE high)
+    DataIn,    //!< controller -> LUN data cycles
+    DataOut,   //!< LUN -> controller data cycles
+};
+
+/** Printable name for a cycle type. */
+const char *toString(CycleType ct);
+
+} // namespace babol::nand
+
+#endif // BABOL_NAND_ONFI_HH

@@ -1,0 +1,88 @@
+#include "package.hh"
+
+namespace babol::nand {
+
+Package::Package(EventQueue &eq, const std::string &name,
+                 const PackageConfig &cfg, std::uint64_t seed)
+    : SimObject(eq, name), cfg_(cfg)
+{
+    for (std::uint32_t i = 0; i < cfg.geometry.lunsPerPackage; ++i) {
+        luns_.push_back(std::make_unique<Lun>(
+            eq, strfmt("%s.lun%u", name.c_str(), i), cfg, i,
+            seed * 0x100 + i));
+    }
+}
+
+Lun &
+Package::lun(std::uint32_t i)
+{
+    babol_assert(i < luns_.size(), "LUN index %u out of range", i);
+    return *luns_[i];
+}
+
+const Lun &
+Package::lun(std::uint32_t i) const
+{
+    babol_assert(i < luns_.size(), "LUN index %u out of range", i);
+    return *luns_[i];
+}
+
+void
+Package::commandLatch(std::uint8_t cmd)
+{
+    for (auto &lun : luns_)
+        lun->commandLatch(cmd);
+}
+
+void
+Package::addressLatch(std::uint8_t byte)
+{
+    for (auto &lun : luns_)
+        lun->addressLatch(byte);
+}
+
+void
+Package::dataIn(std::span<const std::uint8_t> bytes, Tick burst_start)
+{
+    for (auto &lun : luns_)
+        lun->dataIn(bytes, burst_start);
+}
+
+Lun *
+Package::outputLun()
+{
+    Lun *active = nullptr;
+    for (auto &lun : luns_) {
+        if (lun->outputActive()) {
+            if (active) {
+                panic("%s: multiple LUNs driving DQ simultaneously",
+                      name().c_str());
+            }
+            active = lun.get();
+        }
+    }
+    return active;
+}
+
+void
+Package::dataOut(std::span<std::uint8_t> out, Tick burst_start)
+{
+    Lun *active = outputLun();
+    if (!active)
+        panic("%s: data-out burst but no LUN is in output mode",
+              name().c_str());
+    active->dataOut(out, burst_start);
+}
+
+Tick
+Package::busyUntil() const
+{
+    Tick latest = 0;
+    for (const auto &lun : luns_) {
+        if (!lun->ready())
+            latest = std::max(latest, lun->busyUntil());
+    }
+    return latest;
+}
+
+} // namespace babol::nand

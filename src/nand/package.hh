@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A Flash package: one or more LUNs behind a single chip-enable.
+ *
+ * All LUNs in a package observe every bus cycle (they share the DQ and
+ * control pins); each LUN's decoder works out whether an operation is
+ * addressed to it. Exactly one LUN may drive DQ during a data-out burst —
+ * the package locates it and panics if zero or several want the bus,
+ * which catches controller protocol bugs.
+ */
+
+#ifndef BABOL_NAND_PACKAGE_HH
+#define BABOL_NAND_PACKAGE_HH
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "lun.hh"
+#include "sim/sim_object.hh"
+#include "timing.hh"
+
+namespace babol::nand {
+
+class Package : public SimObject
+{
+  public:
+    Package(EventQueue &eq, const std::string &name,
+            const PackageConfig &cfg, std::uint64_t seed);
+
+    const PackageConfig &config() const { return cfg_; }
+
+    std::uint32_t lunCount() const
+    {
+        return static_cast<std::uint32_t>(luns_.size());
+    }
+
+    Lun &lun(std::uint32_t i);
+    const Lun &lun(std::uint32_t i) const;
+
+    // --- Bus-facing interface (driven by the channel when CE low) ---
+
+    void commandLatch(std::uint8_t cmd);
+    void addressLatch(std::uint8_t byte);
+    void dataIn(std::span<const std::uint8_t> bytes, Tick burst_start);
+    void dataOut(std::span<std::uint8_t> out, Tick burst_start);
+
+    /** The LUN that would drive DQ on a read burst, or nullptr. */
+    Lun *outputLun();
+
+    /** Earliest tick at which every LUN in the package is ready
+     *  (composite R/B# pin). */
+    Tick busyUntil() const;
+
+    /** Data interface the package is configured for (LUN 0's view; SET
+     *  FEATURES broadcasts reach all LUNs identically). */
+    DataInterface dataInterface() const
+    {
+        return luns_.front()->dataInterface();
+    }
+
+    /** Configured NV-DDR2 rate in MT/s; 0 in SDR. */
+    std::uint32_t transferMT() const { return luns_.front()->transferMT(); }
+
+  private:
+    PackageConfig cfg_;
+    std::vector<std::unique_ptr<Lun>> luns_;
+};
+
+} // namespace babol::nand
+
+#endif // BABOL_NAND_PACKAGE_HH

@@ -1,0 +1,155 @@
+#include "param_page.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace babol::nand {
+
+namespace {
+
+// Field offsets within the 256-byte page. Bytes 0..3 hold the "ONFI"
+// signature; 254..255 the CRC over bytes 0..253.
+constexpr std::size_t kOffSignature = 0;
+constexpr std::size_t kOffVendor = 4;
+constexpr std::size_t kOffMaxMT = 5;        // u16
+constexpr std::size_t kOffCaps = 7;         // bit0 pSLC, bit1 suspend
+constexpr std::size_t kOffRetryLevels = 8;
+constexpr std::size_t kOffPageData = 9;     // u32
+constexpr std::size_t kOffPageSpare = 13;   // u32
+constexpr std::size_t kOffPagesPerBlk = 17; // u32
+constexpr std::size_t kOffBlksPerPlane = 21; // u32
+constexpr std::size_t kOffPlanes = 25;
+constexpr std::size_t kOffLuns = 26;
+constexpr std::size_t kOffTrNs = 27;    // u32, nanoseconds
+constexpr std::size_t kOffTprogNs = 31; // u32
+constexpr std::size_t kOffTbersNs = 35; // u32
+constexpr std::size_t kOffPartName = 40; // 32 chars, space padded
+constexpr std::size_t kPartNameLen = 32;
+constexpr std::size_t kOffCrc = 254;
+
+void
+put16(std::vector<std::uint8_t> &buf, std::size_t off, std::uint16_t v)
+{
+    buf[off] = static_cast<std::uint8_t>(v);
+    buf[off + 1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void
+put32(std::vector<std::uint8_t> &buf, std::size_t off, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint16_t
+get16(std::span<const std::uint8_t> buf, std::size_t off)
+{
+    return static_cast<std::uint16_t>(buf[off] | (buf[off + 1] << 8));
+}
+
+std::uint32_t
+get32(std::span<const std::uint8_t> buf, std::size_t off)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(buf[off + i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+std::uint16_t
+onfiCrc16(std::span<const std::uint8_t> data)
+{
+    std::uint16_t crc = 0x4F4E;
+    for (std::uint8_t byte : data) {
+        crc ^= static_cast<std::uint16_t>(byte) << 8;
+        for (int bit = 0; bit < 8; ++bit) {
+            if (crc & 0x8000)
+                crc = static_cast<std::uint16_t>((crc << 1) ^ 0x8005);
+            else
+                crc = static_cast<std::uint16_t>(crc << 1);
+        }
+    }
+    return crc;
+}
+
+std::vector<std::uint8_t>
+encodeParamPage(const PackageConfig &cfg)
+{
+    std::vector<std::uint8_t> page(kParamPageBytes, 0);
+    page[kOffSignature + 0] = 'O';
+    page[kOffSignature + 1] = 'N';
+    page[kOffSignature + 2] = 'F';
+    page[kOffSignature + 3] = 'I';
+    page[kOffVendor] = static_cast<std::uint8_t>(cfg.vendor);
+    put16(page, kOffMaxMT, static_cast<std::uint16_t>(cfg.maxTransferMT));
+    page[kOffCaps] = static_cast<std::uint8_t>(
+        (cfg.supportsPslc ? 1 : 0) | (cfg.supportsSuspend ? 2 : 0));
+    page[kOffRetryLevels] = static_cast<std::uint8_t>(cfg.readRetryLevels);
+
+    const Geometry &g = cfg.geometry;
+    put32(page, kOffPageData, g.pageDataBytes);
+    put32(page, kOffPageSpare, g.pageSpareBytes);
+    put32(page, kOffPagesPerBlk, g.pagesPerBlock);
+    put32(page, kOffBlksPerPlane, g.blocksPerPlane);
+    page[kOffPlanes] = static_cast<std::uint8_t>(g.planesPerLun);
+    page[kOffLuns] = static_cast<std::uint8_t>(g.lunsPerPackage);
+
+    put32(page, kOffTrNs, static_cast<std::uint32_t>(
+                              ticks::toNs(cfg.timing.tR)));
+    put32(page, kOffTprogNs, static_cast<std::uint32_t>(
+                                 ticks::toNs(cfg.timing.tProg)));
+    put32(page, kOffTbersNs, static_cast<std::uint32_t>(
+                                 ticks::toNs(cfg.timing.tBers)));
+
+    std::string name = cfg.partName.substr(0, kPartNameLen);
+    for (std::size_t i = 0; i < kPartNameLen; ++i)
+        page[kOffPartName + i] = i < name.size() ? name[i] : ' ';
+
+    std::uint16_t crc = onfiCrc16(
+        std::span<const std::uint8_t>(page.data(), kOffCrc));
+    put16(page, kOffCrc, crc);
+    return page;
+}
+
+std::optional<ParamPageInfo>
+decodeParamPage(std::span<const std::uint8_t> page)
+{
+    if (page.size() < kParamPageBytes)
+        return std::nullopt;
+    if (page[0] != 'O' || page[1] != 'N' || page[2] != 'F' ||
+        page[3] != 'I') {
+        return std::nullopt;
+    }
+    std::uint16_t crc = onfiCrc16(page.subspan(0, kOffCrc));
+    if (crc != get16(page, kOffCrc))
+        return std::nullopt;
+
+    ParamPageInfo info;
+    info.vendor = static_cast<Vendor>(page[kOffVendor]);
+    info.maxTransferMT = get16(page, kOffMaxMT);
+    info.supportsPslc = page[kOffCaps] & 1;
+    info.supportsSuspend = page[kOffCaps] & 2;
+    info.readRetryLevels = page[kOffRetryLevels];
+    info.geometry.pageDataBytes = get32(page, kOffPageData);
+    info.geometry.pageSpareBytes = get32(page, kOffPageSpare);
+    info.geometry.pagesPerBlock = get32(page, kOffPagesPerBlk);
+    info.geometry.blocksPerPlane = get32(page, kOffBlksPerPlane);
+    info.geometry.planesPerLun = page[kOffPlanes];
+    info.geometry.lunsPerPackage = page[kOffLuns];
+    info.tR = ticks::fromNs(get32(page, kOffTrNs));
+    info.tProg = ticks::fromNs(get32(page, kOffTprogNs));
+    info.tBers = ticks::fromNs(get32(page, kOffTbersNs));
+
+    std::string name(reinterpret_cast<const char *>(&page[kOffPartName]),
+                     kPartNameLen);
+    while (!name.empty() && name.back() == ' ')
+        name.pop_back();
+    info.partName = name;
+    return info;
+}
+
+} // namespace babol::nand

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A compact ONFI parameter page codec.
+ *
+ * Real ONFI parameter pages are 256+ byte structures with dozens of
+ * fields; we encode the subset a controller needs for self-configuration
+ * (geometry, timings, capabilities) at fixed offsets, preceded by the
+ * standard "ONFI" signature and protected by the standard CRC-16
+ * (polynomial 0x8005, initial value 0x4F4E). A controller can therefore
+ * bring up an unknown package by issuing READ PARAMETER PAGE and decoding
+ * the result — exactly the §IV-C bring-up flow, exercised by the
+ * new_package_bringup example.
+ */
+
+#ifndef BABOL_NAND_PARAM_PAGE_HH
+#define BABOL_NAND_PARAM_PAGE_HH
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "timing.hh"
+
+namespace babol::nand {
+
+/** Size of one encoded parameter page copy. */
+constexpr std::size_t kParamPageBytes = 256;
+
+/** Fields a controller can learn from the parameter page. */
+struct ParamPageInfo
+{
+    std::string partName;
+    Vendor vendor = Vendor::Generic;
+    Geometry geometry;
+    std::uint32_t maxTransferMT = 0;
+    bool supportsPslc = false;
+    bool supportsSuspend = false;
+    std::uint32_t readRetryLevels = 0;
+    Tick tR = 0;
+    Tick tProg = 0;
+    Tick tBers = 0;
+};
+
+/** ONFI CRC-16 over @p data (poly 0x8005, init 0x4F4E). */
+std::uint16_t onfiCrc16(std::span<const std::uint8_t> data);
+
+/** Encode one parameter-page copy for @p cfg. */
+std::vector<std::uint8_t> encodeParamPage(const PackageConfig &cfg);
+
+/**
+ * Decode a parameter page; returns std::nullopt when the signature or
+ * CRC is wrong (the controller should then try the next copy).
+ */
+std::optional<ParamPageInfo>
+decodeParamPage(std::span<const std::uint8_t> page);
+
+} // namespace babol::nand
+
+#endif // BABOL_NAND_PARAM_PAGE_HH

@@ -1,0 +1,135 @@
+#include "timing.hh"
+
+using namespace babol::time_literals;
+
+namespace babol::nand {
+
+const char *
+toString(Vendor v)
+{
+    switch (v) {
+      case Vendor::Hynix:
+        return "Hynix";
+      case Vendor::Toshiba:
+        return "Toshiba";
+      case Vendor::Micron:
+        return "Micron";
+      case Vendor::Generic:
+        return "Generic";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Interface timings shared by all three parts (ONFI 5.1 NV-DDR2-ish). */
+TimingParams
+baseTiming()
+{
+    TimingParams t;
+    t.tProg = 700_us;
+    t.tBers = 3500_us;
+    t.tRst = 5_us;
+    t.tFeat = 1_us;
+    t.tRParam = 25_us;
+
+    t.tWb = 100_ns;
+    t.tWhr = 120_ns;
+    t.tCcs = 300_ns;
+    t.tAdl = 300_ns;
+    t.tRr = 20_ns;
+    t.tCbsyR = 3_us;
+    t.tCbsyW = 30_us;
+
+    t.tCmdCycleSdr = 50_ns;  // ~20 MHz asynchronous boot interface
+    t.tCmdCycleDdr = 25_ns;  // command/address cycles stay slow in DDR
+    t.tCs = 20_ns;
+    t.tCh = 5_ns;
+
+    t.suspendLatency = 30_us;
+    t.resumeOverhead = 10_us;
+    return t;
+}
+
+Geometry
+baseGeometry()
+{
+    Geometry g;
+    g.lunsPerPackage = 1;
+    g.planesPerLun = 2;
+    g.blocksPerPlane = 1024;
+    g.pagesPerBlock = 256;
+    g.pageDataBytes = 16384; // Table I: page read size 16384 B
+    g.pageSpareBytes = 1872;
+    return g;
+}
+
+} // namespace
+
+PackageConfig
+hynixPackage()
+{
+    PackageConfig cfg;
+    cfg.partName = "H27-class 16KiB/page TLC";
+    cfg.vendor = Vendor::Hynix;
+    cfg.geometry = baseGeometry();
+    cfg.timing = baseTiming();
+    cfg.timing.tR = 100_us; // Table I
+    cfg.lunsWiredPerChannel = 8;
+    cfg.jedecManufacturer = 0xAD;
+    cfg.jedecDevice = 0xDE;
+    return cfg;
+}
+
+PackageConfig
+toshibaPackage()
+{
+    PackageConfig cfg;
+    cfg.partName = "TH58-class 16KiB/page TLC";
+    cfg.vendor = Vendor::Toshiba;
+    cfg.geometry = baseGeometry();
+    cfg.timing = baseTiming();
+    cfg.timing.tR = 78_us; // Table I
+    cfg.lunsWiredPerChannel = 8;
+    cfg.jedecManufacturer = 0x98;
+    cfg.jedecDevice = 0x3A;
+    return cfg;
+}
+
+PackageConfig
+micronPackage()
+{
+    PackageConfig cfg;
+    cfg.partName = "MT29-class 16KiB/page TLC";
+    cfg.vendor = Vendor::Micron;
+    cfg.geometry = baseGeometry();
+    cfg.timing = baseTiming();
+    cfg.timing.tR = 53_us; // Table I
+    cfg.lunsWiredPerChannel = 2; // Micron SO-DIMM wires only 2 LUNs
+    cfg.jedecManufacturer = 0x2C;
+    cfg.jedecDevice = 0xA8;
+    return cfg;
+}
+
+PackageConfig
+packageFor(Vendor v)
+{
+    switch (v) {
+      case Vendor::Hynix:
+        return hynixPackage();
+      case Vendor::Toshiba:
+        return toshibaPackage();
+      case Vendor::Micron:
+        return micronPackage();
+      case Vendor::Generic:
+        break;
+    }
+    PackageConfig cfg;
+    cfg.partName = "generic ONFI package";
+    cfg.geometry = baseGeometry();
+    cfg.timing = baseTiming();
+    cfg.timing.tR = 80_us;
+    return cfg;
+}
+
+} // namespace babol::nand

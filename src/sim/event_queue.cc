@@ -1,0 +1,58 @@
+#include "event_queue.hh"
+
+namespace babol {
+
+std::size_t
+EventQueue::pendingCount() const
+{
+    // Drop cancelled events sitting at the head so that empty() is exact.
+    while (!heap_.empty() && heap_.top()->cancelled)
+        heap_.pop();
+    // Cancelled events buried deeper are counted until they surface; an
+    // exact count would require a scan. Events are cancelled rarely
+    // (suspend/resume paths), so over-counting is acceptable for stats but
+    // not for emptiness: empty() only needs head-exactness, which the loop
+    // above provides.
+    return heap_.size();
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap_.empty()) {
+        RecordPtr rec = heap_.top();
+        heap_.pop();
+        if (rec->cancelled)
+            continue;
+        babol_assert(rec->when >= now_, "event queue time went backwards");
+        now_ = rec->when;
+        rec->fired = true;
+        ++firedCount_;
+        rec->fn();
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t fired = 0;
+    while (true) {
+        while (!heap_.empty() && heap_.top()->cancelled)
+            heap_.pop();
+        if (heap_.empty())
+            break;
+        if (heap_.top()->when > limit) {
+            // Advance time to the window edge so that callers composing
+            // bounded runs observe a consistent clock.
+            now_ = limit;
+            break;
+        }
+        if (step())
+            ++fired;
+    }
+    return fired;
+}
+
+} // namespace babol

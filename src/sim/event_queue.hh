@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The discrete-event kernel at the heart of the BABOL simulator.
+ *
+ * Every hardware and software actor in the reproduction — LUN busy timers,
+ * bus segment completions, DMA transfers, CPU work items — is expressed as
+ * an event scheduled on a single EventQueue. Events at the same tick fire
+ * in scheduling order (FIFO), which keeps runs fully deterministic.
+ */
+
+#ifndef BABOL_SIM_EVENT_QUEUE_HH
+#define BABOL_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace babol {
+
+/**
+ * Handle to a scheduled event; allows cancellation. Default-constructed
+ * handles are inert. Handles stay valid (but inert) after the event fires.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** True when the event is still pending (not fired, not cancelled). */
+    bool pending() const { return rec_ && !rec_->cancelled && !rec_->fired; }
+
+    /** Cancel the event if it is still pending. */
+    void
+    cancel()
+    {
+        if (rec_)
+            rec_->cancelled = true;
+    }
+
+    /** Scheduled firing time; kMaxTick when inert. */
+    Tick when() const { return rec_ ? rec_->when : kMaxTick; }
+
+  private:
+    friend class EventQueue;
+
+    struct Record
+    {
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        std::function<void()> fn;
+        bool cancelled = false;
+        bool fired = false;
+    };
+
+    explicit EventHandle(std::shared_ptr<Record> rec) : rec_(std::move(rec))
+    {}
+
+    std::shared_ptr<Record> rec_;
+};
+
+/**
+ * A deterministic priority queue of timed callbacks.
+ *
+ * All simulated entities share one queue; the constructor of each
+ * SimObject receives a reference. Time never moves backwards: scheduling
+ * in the past is a panic (a simulator bug by definition).
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p fn to run at absolute time @p when. */
+    EventHandle
+    schedule(Tick when, std::function<void()> fn, const char *what = "")
+    {
+        if (when < now_) {
+            panic("scheduling event '%s' in the past (%llu < %llu)", what,
+                  static_cast<unsigned long long>(when),
+                  static_cast<unsigned long long>(now_));
+        }
+        auto rec = std::make_shared<EventHandle::Record>();
+        rec->when = when;
+        rec->seq = nextSeq_++;
+        rec->fn = std::move(fn);
+        heap_.push(rec);
+        ++scheduledCount_;
+        return EventHandle(rec);
+    }
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    EventHandle
+    scheduleIn(Tick delay, std::function<void()> fn, const char *what = "")
+    {
+        return schedule(now_ + delay, std::move(fn), what);
+    }
+
+    /** True when no runnable events remain. */
+    bool
+    empty() const
+    {
+        return pendingCount() == 0;
+    }
+
+    /** Number of events that are scheduled and not cancelled. */
+    std::size_t pendingCount() const;
+
+    /**
+     * Run events until the queue drains or simulated time would exceed
+     * @p limit (events at exactly @p limit still run).
+     *
+     * @return the number of events fired.
+     */
+    std::uint64_t run(Tick limit = kMaxTick);
+
+    /** Fire at most one event. @return true if an event fired. */
+    bool step();
+
+    /** Total number of events ever scheduled (for stats/tests). */
+    std::uint64_t scheduledCount() const { return scheduledCount_; }
+
+    /** Total number of events ever fired. */
+    std::uint64_t firedCount() const { return firedCount_; }
+
+  private:
+    using RecordPtr = std::shared_ptr<EventHandle::Record>;
+
+    struct Later
+    {
+        bool
+        operator()(const RecordPtr &a, const RecordPtr &b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            return a->seq > b->seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t scheduledCount_ = 0;
+    std::uint64_t firedCount_ = 0;
+    mutable std::priority_queue<RecordPtr, std::vector<RecordPtr>, Later>
+        heap_;
+};
+
+} // namespace babol
+
+#endif // BABOL_SIM_EVENT_QUEUE_HH

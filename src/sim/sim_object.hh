@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Base class for named simulated entities.
+ *
+ * A SimObject owns a name (dotted hierarchy, e.g. "ssd.chan0.lun3") and a
+ * reference to the shared EventQueue. It mirrors gem5's SimObject in
+ * spirit but is deliberately minimal: construction order defines the
+ * hierarchy and there is no separate init phase.
+ */
+
+#ifndef BABOL_SIM_SIM_OBJECT_HH
+#define BABOL_SIM_SIM_OBJECT_HH
+
+#include <string>
+#include <utility>
+
+#include "event_queue.hh"
+#include "types.hh"
+
+namespace babol {
+
+class SimObject
+{
+  public:
+    SimObject(EventQueue &eq, std::string name)
+        : eq_(eq), name_(std::move(name))
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    /** Hierarchical instance name. */
+    const std::string &name() const { return name_; }
+
+    /** The shared event queue. */
+    EventQueue &eventQueue() { return eq_; }
+    const EventQueue &eventQueue() const { return eq_; }
+
+    /** Current simulated time. */
+    Tick curTick() const { return eq_.now(); }
+
+  protected:
+    /** Schedule a member callback @p delay ticks from now. */
+    EventHandle
+    scheduleIn(Tick delay, std::function<void()> fn, const char *what = "")
+    {
+        return eq_.scheduleIn(delay, std::move(fn), what);
+    }
+
+    EventQueue &eq_;
+
+  private:
+    std::string name_;
+};
+
+} // namespace babol
+
+#endif // BABOL_SIM_SIM_OBJECT_HH

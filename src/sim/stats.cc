@@ -1,0 +1,37 @@
+#include "stats.hh"
+
+namespace babol {
+
+double
+Distribution::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    if (p <= 0.0)
+        return sorted.front();
+    if (p >= 100.0)
+        return sorted.back();
+    double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+    auto lo = static_cast<std::size_t>(rank);
+    double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+void
+Distribution::decimate()
+{
+    // Keep every other retained sample and double the stride, so the kept
+    // set remains a uniform subsample of the full stream.
+    std::vector<double> kept;
+    kept.reserve(samples_.size() / 2 + 1);
+    for (std::size_t i = 0; i < samples_.size(); i += 2)
+        kept.push_back(samples_[i]);
+    samples_ = std::move(kept);
+    stride_ *= 2;
+}
+
+} // namespace babol

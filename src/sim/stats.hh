@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Statistics primitives: scalar counters and sampled distributions.
+ *
+ * Each experiment harness composes these into the rows the paper reports.
+ * Distributions keep every sample only when small; beyond a threshold
+ * they subsample deterministically so long fio runs stay cheap while
+ * percentiles remain meaningful.
+ */
+
+#ifndef BABOL_SIM_STATS_HH
+#define BABOL_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "types.hh"
+
+namespace babol {
+
+/** A named monotonically increasing counter. */
+class Counter
+{
+  public:
+    explicit Counter(std::string name = "") : name_(std::move(name)) {}
+
+    void inc(std::uint64_t by = 1) { value_ += by; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A sampled distribution with min/max/mean and percentile queries.
+ *
+ * Keeps at most @p maxSamples individual values; past that, it keeps
+ * every k-th sample (k doubling as needed) which preserves percentile
+ * accuracy for the smooth distributions we measure (latencies).
+ * Min/max/mean/count always reflect *all* samples.
+ */
+class Distribution
+{
+  public:
+    explicit Distribution(std::string name = "",
+                          std::size_t max_samples = 1 << 16)
+        : name_(std::move(name)), maxSamples_(max_samples)
+    {}
+
+    void
+    sample(double v)
+    {
+        ++count_;
+        sum_ += v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+        if (count_ % stride_ == 0) {
+            samples_.push_back(v);
+            if (samples_.size() >= maxSamples_)
+                decimate();
+        }
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Percentile in [0, 100]; linear interpolation between kept samples. */
+    double percentile(double p) const;
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = 0.0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+        stride_ = 1;
+        samples_.clear();
+    }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    void decimate();
+
+    std::string name_;
+    std::size_t maxSamples_;
+    std::uint64_t count_ = 0;
+    std::uint64_t stride_ = 1;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+    std::vector<double> samples_;
+};
+
+/** Bandwidth helper: bytes moved over a tick interval, in MB/s (1e6). */
+inline double
+bandwidthMBps(std::uint64_t bytes, Tick interval)
+{
+    if (interval == 0)
+        return 0.0;
+    return (static_cast<double>(bytes) / 1e6) / ticks::toSec(interval);
+}
+
+} // namespace babol
+
+#endif // BABOL_SIM_STATS_HH

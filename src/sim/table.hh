@@ -1,0 +1,44 @@
+/**
+ * @file
+ * ASCII/CSV table printing used by the benchmark harnesses to emit the
+ * paper's tables and figure series in a uniform format.
+ */
+
+#ifndef BABOL_SIM_TABLE_HH
+#define BABOL_SIM_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace babol {
+
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {}
+
+    /** Append one row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render with aligned columns and a header rule. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (for plotting scripts). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace babol
+
+#endif // BABOL_SIM_TABLE_HH

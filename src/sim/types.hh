@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Fundamental time and size types for the BABOL simulation substrate.
+ *
+ * The simulator measures time in integer picoseconds. A picosecond base
+ * unit keeps every timing parameter in the ONFI specification (down to
+ * fractions of a nanosecond at 200 MT/s and beyond) exactly representable
+ * while still affording ~213 days of simulated time in 64 bits.
+ */
+
+#ifndef BABOL_SIM_TYPES_HH
+#define BABOL_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace babol {
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A tick value that compares later than any schedulable time. */
+constexpr Tick kMaxTick = ~Tick(0);
+
+namespace ticks {
+
+constexpr Tick perNs = 1000;
+constexpr Tick perUs = 1000 * perNs;
+constexpr Tick perMs = 1000 * perUs;
+constexpr Tick perSec = 1000 * perMs;
+
+/** Convert nanoseconds to ticks. */
+constexpr Tick
+fromNs(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(perNs));
+}
+
+/** Convert microseconds to ticks. */
+constexpr Tick
+fromUs(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(perUs));
+}
+
+/** Convert milliseconds to ticks. */
+constexpr Tick
+fromMs(double ms)
+{
+    return static_cast<Tick>(ms * static_cast<double>(perMs));
+}
+
+/** Convert ticks to (fractional) nanoseconds. */
+constexpr double
+toNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(perNs);
+}
+
+/** Convert ticks to (fractional) microseconds. */
+constexpr double
+toUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(perUs);
+}
+
+/** Convert ticks to (fractional) milliseconds. */
+constexpr double
+toMs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(perMs);
+}
+
+/** Convert ticks to (fractional) seconds. */
+constexpr double
+toSec(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(perSec);
+}
+
+} // namespace ticks
+
+/** User-defined literals so timing tables read like a datasheet. */
+namespace time_literals {
+
+constexpr Tick operator""_ns(unsigned long long v) { return v * ticks::perNs; }
+constexpr Tick operator""_us(unsigned long long v) { return v * ticks::perUs; }
+constexpr Tick operator""_ms(unsigned long long v) { return v * ticks::perMs; }
+constexpr Tick operator""_ns(long double v)
+{
+    return ticks::fromNs(static_cast<double>(v));
+}
+constexpr Tick operator""_us(long double v)
+{
+    return ticks::fromUs(static_cast<double>(v));
+}
+
+} // namespace time_literals
+
+/** Byte sizes. */
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+
+} // namespace babol
+
+#endif // BABOL_SIM_TYPES_HH

@@ -1,0 +1,101 @@
+#include "ssd.hh"
+
+#include "core/coro/coro_controller.hh"
+#include "core/hw/hw_controller.hh"
+#include "core/rtos_env/rtos_controller.hh"
+
+namespace babol::ssd {
+
+Ssd::Ssd(EventQueue &eq, const std::string &name, SsdConfig cfg)
+    : SimObject(eq, name), cfg_(cfg)
+{
+    babol_assert(cfg_.channels >= 1 && cfg_.channels <= 16,
+                 "SSD supports 1..16 channels, got %u", cfg_.channels);
+
+    dram_ = std::make_unique<dram::DramBuffer>(eq, name + ".dram",
+                                               cfg_.dramBytes);
+
+    for (std::uint32_t ch = 0; ch < cfg_.channels; ++ch) {
+        core::ChannelConfig ccfg = cfg_.channel;
+        ccfg.externalDram = dram_.get();
+        ccfg.seed = cfg_.channel.seed + ch * 7717;
+        systems_.push_back(std::make_unique<core::ChannelSystem>(
+            eq, strfmt("%s.ch%u", name.c_str(), ch), ccfg));
+
+        core::ChannelSystem &sys = *systems_.back();
+        std::string cname = strfmt("%s.ch%u.ctrl", name.c_str(), ch);
+        core::SoftControllerConfig soft;
+        soft.cpuMhz = cfg_.cpuMhz;
+        if (cfg_.flavor == "coro") {
+            controllers_.push_back(std::make_unique<core::CoroController>(
+                eq, cname, sys, soft));
+        } else if (cfg_.flavor == "rtos") {
+            controllers_.push_back(std::make_unique<core::RtosController>(
+                eq, cname, sys, soft));
+        } else if (cfg_.flavor == "hw-sync") {
+            controllers_.push_back(std::make_unique<core::HwController>(
+                eq, cname, sys, true));
+        } else if (cfg_.flavor == "hw-async" || cfg_.flavor == "hw") {
+            controllers_.push_back(std::make_unique<core::HwController>(
+                eq, cname, sys, false));
+        } else {
+            fatal("unknown controller flavor '%s'", cfg_.flavor.c_str());
+        }
+    }
+}
+
+Ssd::~Ssd() = default;
+
+core::ChannelSystem &
+Ssd::channelSystem(std::uint32_t ch)
+{
+    babol_assert(ch < systems_.size(), "channel %u out of range", ch);
+    return *systems_[ch];
+}
+
+core::ChannelController &
+Ssd::controller(std::uint32_t ch)
+{
+    babol_assert(ch < controllers_.size(), "channel %u out of range", ch);
+    return *controllers_[ch];
+}
+
+void
+Ssd::submit(core::FlashRequest req)
+{
+    const std::uint32_t ways = cfg_.channel.chips;
+    babol_assert(req.chip < backendChipCount(),
+                 "global chip %u out of range", req.chip);
+    std::uint32_t channel = req.chip / ways;
+    req.chip = req.chip % ways;
+    controllers_[channel]->submit(std::move(req));
+}
+
+std::uint64_t
+Ssd::opsCompleted() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &ctrl : controllers_)
+        sum += ctrl->opsCompleted();
+    return sum;
+}
+
+std::uint64_t
+Ssd::payloadBytesRead() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &ctrl : controllers_)
+        sum += ctrl->payloadBytesRead();
+    return sum;
+}
+
+std::uint64_t
+Ssd::payloadBytesWritten() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &ctrl : controllers_)
+        sum += ctrl->payloadBytesWritten();
+    return sum;
+}
+
+} // namespace babol::ssd

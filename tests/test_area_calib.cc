@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Area-model tests (Table III anchors and scaling laws) and bring-up /
+ * phase-calibration tests (§IV-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/area/area_model.hh"
+#include "core/calib/calibration.hh"
+#include "core/coro/coro_controller.hh"
+
+using namespace babol;
+using namespace babol::core;
+
+namespace {
+
+TEST(Area, TableIIIAnchorsAtEightLuns)
+{
+    AreaModel sync_hw = syncHwArea(8);
+    AreaModel async_hw = asyncHwArea(8);
+    AreaModel babol = babolArea(8, 4);
+
+    EXPECT_NEAR(sync_hw.totalLuts(), 9343, 15);
+    EXPECT_NEAR(sync_hw.totalFfs(), 13021, 15);
+    EXPECT_NEAR(sync_hw.totalBrams(), 11.5, 0.1);
+
+    EXPECT_NEAR(async_hw.totalLuts(), 3909, 15);
+    EXPECT_NEAR(async_hw.totalFfs(), 3745, 15);
+    EXPECT_NEAR(async_hw.totalBrams(), 8.0, 0.1);
+
+    EXPECT_NEAR(babol.totalLuts(), 3539, 15);
+    EXPECT_NEAR(babol.totalFfs(), 3635, 15);
+    EXPECT_NEAR(babol.totalBrams(), 6.0, 0.1);
+}
+
+TEST(Area, OrderingHoldsAcrossLunCounts)
+{
+    for (std::uint32_t luns : {2u, 4u, 8u, 16u}) {
+        EXPECT_GT(syncHwArea(luns).totalLuts(),
+                  asyncHwArea(luns).totalLuts());
+        EXPECT_GT(asyncHwArea(luns).totalLuts(),
+                  babolArea(luns, 4).totalLuts());
+    }
+}
+
+TEST(Area, SyncDesignScalesSteepestWithLuns)
+{
+    double sync_slope = syncHwArea(16).totalFfs() - syncHwArea(2).totalFfs();
+    double async_slope =
+        asyncHwArea(16).totalFfs() - asyncHwArea(2).totalFfs();
+    double babol_slope =
+        babolArea(16, 4).totalFfs() - babolArea(2, 4).totalFfs();
+    EXPECT_GT(sync_slope, async_slope);
+    EXPECT_GT(async_slope, babol_slope);
+}
+
+TEST(Area, FifoDepthCostsOnlyBram)
+{
+    AreaModel shallow = babolArea(8, 2);
+    AreaModel deep = babolArea(8, 16);
+    EXPECT_EQ(shallow.totalLuts(), deep.totalLuts());
+    EXPECT_EQ(shallow.totalFfs(), deep.totalFfs());
+    EXPECT_LT(shallow.totalBrams(), deep.totalBrams());
+}
+
+TEST(Area, BreakdownListsEveryModule)
+{
+    AreaModel babol = babolArea(8, 4);
+    std::string text = babol.breakdown();
+    EXPECT_NE(text.find("C/A Writer"), std::string::npos);
+    EXPECT_NE(text.find("Data Reader"), std::string::npos);
+    EXPECT_NE(text.find("Timer"), std::string::npos);
+    EXPECT_NE(text.find("Chip Control"), std::string::npos);
+    EXPECT_NE(text.find("TOTAL"), std::string::npos);
+    EXPECT_GE(babol.modules().size(), 9u);
+}
+
+// --- Bring-up / calibration ---
+
+struct CalibRig
+{
+    EventQueue eq;
+    ChannelSystem sys;
+    CoroController ctrl;
+
+    explicit CalibRig(std::uint32_t chips)
+        : sys(eq, "ssd", makeCfg(chips)), ctrl(eq, "ctrl", sys)
+    {}
+
+    static ChannelConfig
+    makeCfg(std::uint32_t chips)
+    {
+        ChannelConfig cfg;
+        cfg.package = nand::micronPackage();
+        cfg.chips = chips;
+        cfg.rateMT = 200;
+        cfg.bootstrapped = false; // real SDR boot state
+        return cfg;
+    }
+
+    template <typename T>
+    T
+    runOp(Op<T> op)
+    {
+        bool done = false;
+        op.setOnDone([&] { done = true; });
+        ctrl.runtime().startOp(op.handle());
+        eq.run();
+        EXPECT_TRUE(done);
+        return std::move(op.result());
+    }
+};
+
+TEST(Calibration, BringUpSwitchesSdrToDdr)
+{
+    CalibRig rig(2);
+    EXPECT_EQ(rig.sys.bus().phy().mode(), nand::DataInterface::Sdr);
+
+    auto reports = rig.runOp(bringUpChannelOp(rig.ctrl.env(), 200));
+    ASSERT_EQ(reports.size(), 2u);
+    for (const auto &r : reports) {
+        EXPECT_TRUE(r.onfiSignatureOk);
+        EXPECT_EQ(r.negotiatedMT, 200u);
+        EXPECT_TRUE(r.phaseLocked);
+        EXPECT_EQ(r.params.vendor, nand::Vendor::Micron);
+    }
+    EXPECT_EQ(rig.sys.bus().phy().mode(), nand::DataInterface::Nvddr2);
+    EXPECT_EQ(rig.sys.lun(0).dataInterface(),
+              nand::DataInterface::Nvddr2);
+}
+
+class PhaseSweep : public testing::TestWithParam<int>
+{};
+
+TEST_P(PhaseSweep, CalibrationLocksArbitrarySkew)
+{
+    CalibRig rig(1);
+    Tick skew = static_cast<Tick>(GetParam()) * 250 * ticks::perNs / 1000;
+    rig.sys.bus().setPhaseSkew(0, skew);
+
+    auto reports = rig.runOp(bringUpChannelOp(rig.ctrl.env(), 200));
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_TRUE(reports[0].phaseLocked)
+        << "skew " << ticks::toNs(skew) << " ns";
+    EXPECT_TRUE(rig.sys.bus().phaseOk(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(SkewsQuarterNs, PhaseSweep,
+                         testing::Values(0, 2, 5, 8, 11, 14, 17, 20));
+
+TEST(Calibration, CorruptCaptureFailsSignatureCheck)
+{
+    // A skew beyond even the forgiving SDR window corrupts captures; a
+    // READ ID then misses the ONFI signature. (Note: with such a skew
+    // even status polls corrupt — real bring-up firmware attacks this
+    // with timeouts, which is why the flow checks the signature before
+    // any operation that polls.)
+    CalibRig rig(1);
+    rig.sys.bus().setPhaseSkew(0, 60 * ticks::perNs);
+    auto id = rig.runOp(
+        readIdOp(rig.ctrl.env(), 0, nand::id_address::kOnfi, 4));
+    EXPECT_NE(std::string(id.begin(), id.end()), "ONFI");
+}
+
+TEST(Calibration, SkewBeyondSweepRangePanics)
+{
+    // SDR (12.5 ns window) still works at 10 ns skew, so identify
+    // succeeds; but the NV-DDR2 sweep range (±6 windows = 7.5 ns at
+    // 200 MT/s) cannot find a lock, and calibration reports it loudly.
+    CalibRig rig(1);
+    rig.sys.bus().setPhaseSkew(0, 10 * ticks::perNs);
+    EXPECT_THROW(rig.runOp(bringUpChannelOp(rig.ctrl.env(), 200)),
+                 SimPanic);
+}
+
+TEST(Calibration, TimingModeVariantWaitsInsteadOfPolling)
+{
+    CalibRig rig(1);
+    rig.runOp(setTimingModeOp(rig.ctrl.env(), 0, 0x21));
+    EXPECT_EQ(rig.sys.lun(0).dataInterface(),
+              nand::DataInterface::Nvddr2);
+    EXPECT_EQ(rig.sys.lun(0).transferMT(), 200u);
+}
+
+} // namespace

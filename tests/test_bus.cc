@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Channel bus, PHY, and trace tests: segment timing, atomicity, CE
+ * routing, gang conflicts, phase calibration, and mode checking.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "chan/bus.hh"
+
+using namespace babol;
+using namespace babol::chan;
+using namespace babol::nand;
+using namespace babol::time_literals;
+
+namespace {
+
+struct BusRig
+{
+    EventQueue eq;
+    PackageConfig cfg = hynixPackage();
+    std::vector<std::unique_ptr<Package>> pkgs;
+    std::unique_ptr<ChannelBus> bus;
+
+    explicit BusRig(std::uint32_t chips = 2, std::uint32_t rate = 200,
+                    bool ddr = true)
+    {
+        bus = std::make_unique<ChannelBus>(eq, "bus", cfg.timing, rate);
+        for (std::uint32_t i = 0; i < chips; ++i) {
+            pkgs.push_back(std::make_unique<Package>(
+                eq, strfmt("pkg%u", i), cfg, 100 + i));
+            bus->attach(pkgs.back().get());
+            if (ddr) {
+                pkgs.back()->lun(0).bootstrapInterface(
+                    DataInterface::Nvddr2, rate);
+            }
+        }
+        if (ddr)
+            bus->phy().setMode(DataInterface::Nvddr2);
+    }
+
+    /** Issue and run to completion, returning the captured bytes. */
+    SegmentResult
+    runSegment(Segment seg)
+    {
+        SegmentResult out;
+        bool done = false;
+        bus->issue(std::move(seg), [&](SegmentResult r) {
+            out = std::move(r);
+            done = true;
+        });
+        eq.run();
+        EXPECT_TRUE(done);
+        return out;
+    }
+
+    /** A READ STATUS segment for chip mask @p ce. */
+    static Segment
+    statusSegment(std::uint32_t ce)
+    {
+        Segment seg;
+        seg.ceMask = ce;
+        seg.label = "status";
+        seg.items.push_back(SegmentItem::command(opcode::kReadStatus));
+        SegmentItem out = SegmentItem::dataOut(1);
+        out.preDelay = hynixPackage().timing.tWhr;
+        seg.items.push_back(out);
+        return seg;
+    }
+};
+
+TEST(Phy, CycleTimesFollowMode)
+{
+    Phy phy(hynixPackage().timing, 200);
+    EXPECT_EQ(phy.mode(), DataInterface::Sdr);
+    Tick sdr_cmd = phy.commandCycle();
+    phy.setMode(DataInterface::Nvddr2);
+    EXPECT_LT(phy.commandCycle(), sdr_cmd);
+}
+
+TEST(Phy, DataBurstScalesWithRate)
+{
+    Phy phy100(hynixPackage().timing, 100);
+    Phy phy200(hynixPackage().timing, 200);
+    phy100.setMode(DataInterface::Nvddr2);
+    phy200.setMode(DataInterface::Nvddr2);
+
+    Tick t100 = phy100.dataBurst(16384);
+    Tick t200 = phy200.dataBurst(16384);
+    // 16384 transfers: ~164 us at 100 MT/s, ~82 us at 200 MT/s (plus
+    // fixed preamble), so close to but under a 2x ratio.
+    EXPECT_GT(t100, t200);
+    EXPECT_NEAR(static_cast<double>(t100) / t200, 2.0, 0.1);
+
+    // Full page + parity at 100 MT/s lands on Table I's 185 us.
+    EXPECT_NEAR(ticks::toUs(phy100.dataBurst(18256)), 185.0, 2.0);
+}
+
+TEST(Phy, SdrBurstsAreSlow)
+{
+    Phy phy(hynixPackage().timing, 200);
+    // SDR boot mode: one slow cycle per byte.
+    EXPECT_GT(phy.dataBurst(256), 256 * 40_ns);
+}
+
+TEST(Bus, SegmentDeliversLatchesInOrder)
+{
+    BusRig rig(1);
+    // RESET via raw segment; the LUN goes busy -> decode worked.
+    Segment seg;
+    seg.ceMask = 1;
+    seg.label = "reset";
+    seg.items.push_back(SegmentItem::command(opcode::kReset));
+    rig.runSegment(std::move(seg));
+    // After running the queue, the reset completed.
+    EXPECT_TRUE(rig.pkgs[0]->lun(0).ready());
+}
+
+TEST(Bus, StatusSegmentReadsStatusByte)
+{
+    BusRig rig(1);
+    SegmentResult r = rig.runSegment(BusRig::statusSegment(1));
+    ASSERT_EQ(r.dataOut.size(), 1u);
+    EXPECT_TRUE(r.dataOut[0] & status::kRdy);
+}
+
+TEST(Bus, DoubleIssuePanics)
+{
+    BusRig rig(1);
+    rig.bus->issue(BusRig::statusSegment(1), [](SegmentResult) {});
+    EXPECT_TRUE(rig.bus->busy());
+    EXPECT_THROW(rig.bus->issue(BusRig::statusSegment(1),
+                                [](SegmentResult) {}),
+                 SimPanic);
+    rig.eq.run();
+    EXPECT_FALSE(rig.bus->busy());
+}
+
+TEST(Bus, CeMaskRoutesToSelectedPackageOnly)
+{
+    BusRig rig(2);
+    // Reset only chip 1; chip 0 must not see the command.
+    Segment seg;
+    seg.ceMask = 0b10;
+    seg.label = "reset c1";
+    seg.items.push_back(SegmentItem::command(opcode::kReset));
+    rig.runSegment(std::move(seg));
+    // chip1 went busy and completed a reset; chip0 never decoded one.
+    // (Observable via busyUntil: chip0's stays 0.)
+    EXPECT_EQ(rig.pkgs[0]->lun(0).busyUntil(), 0u);
+    EXPECT_GT(rig.pkgs[1]->lun(0).busyUntil(), 0u);
+}
+
+TEST(Bus, GangBroadcastReachesAllSelected)
+{
+    BusRig rig(2);
+    Segment seg;
+    seg.ceMask = 0b11;
+    seg.label = "gang reset";
+    seg.items.push_back(SegmentItem::command(opcode::kReset));
+    rig.runSegment(std::move(seg));
+    EXPECT_GT(rig.pkgs[0]->lun(0).busyUntil(), 0u);
+    EXPECT_GT(rig.pkgs[1]->lun(0).busyUntil(), 0u);
+}
+
+TEST(Bus, GangDataOutConflictPanics)
+{
+    BusRig rig(2);
+    Segment seg = BusRig::statusSegment(0b11); // two chips driving DQ
+    bool done = false;
+    rig.bus->issue(std::move(seg), [&](SegmentResult) { done = true; });
+    EXPECT_THROW(rig.eq.run(), SimPanic);
+    EXPECT_FALSE(done);
+}
+
+TEST(Bus, TimerItemsOccupyTheBus)
+{
+    BusRig rig(1);
+    Segment seg;
+    seg.ceMask = 1;
+    seg.label = "pause";
+    SegmentItem pause;
+    pause.preDelay = 5_us;
+    seg.items.push_back(pause);
+    Tick t0 = rig.eq.now();
+    rig.runSegment(std::move(seg));
+    EXPECT_GE(rig.eq.now() - t0, 5_us);
+}
+
+TEST(Bus, ModeMismatchPanics)
+{
+    // PHY in DDR but the package still boots in SDR.
+    BusRig rig(1, 200, /*ddr=*/false);
+    rig.bus->phy().setMode(DataInterface::Nvddr2);
+    Segment seg = BusRig::statusSegment(1);
+    rig.bus->issue(std::move(seg), [](SegmentResult) {});
+    EXPECT_THROW(rig.eq.run(), SimPanic);
+}
+
+TEST(Bus, PhaseSkewCorruptsUntilAdjusted)
+{
+    BusRig rig(1);
+    Tick window = rig.bus->phy().phaseWindow();
+    rig.bus->setPhaseSkew(0, 4 * window);
+    EXPECT_FALSE(rig.bus->phaseOk(0));
+
+    SegmentResult r = rig.runSegment(BusRig::statusSegment(1));
+    // Byte 0 corrupted (XOR 0xFF of the ready status).
+    EXPECT_FALSE(r.dataOut.at(0) & status::kRdy);
+
+    rig.bus->setPhaseAdjust(0, 4 * window);
+    EXPECT_TRUE(rig.bus->phaseOk(0));
+    r = rig.runSegment(BusRig::statusSegment(1));
+    EXPECT_TRUE(r.dataOut.at(0) & status::kRdy);
+}
+
+TEST(Bus, StatsAccumulate)
+{
+    BusRig rig(1);
+    rig.runSegment(BusRig::statusSegment(1));
+    rig.runSegment(BusRig::statusSegment(1));
+    EXPECT_EQ(rig.bus->segmentsIssued(), 2u);
+    EXPECT_EQ(rig.bus->dataBytesOut(), 2u);
+    EXPECT_GT(rig.bus->busyTicks(), 0u);
+}
+
+TEST(Trace, RecordsAndQueries)
+{
+    BusRig rig(1);
+    rig.bus->trace().setEnabled(true);
+    rig.runSegment(BusRig::statusSegment(1));
+    rig.runSegment(BusRig::statusSegment(1));
+
+    EXPECT_EQ(rig.bus->trace().events().size(), 2u);
+    EXPECT_EQ(rig.bus->trace().find("status").size(), 2u);
+    EXPECT_EQ(rig.bus->trace().find("nothing").size(), 0u);
+    EXPECT_EQ(rig.bus->trace().periodsOf("status").size(), 1u);
+    EXPECT_FALSE(rig.bus->trace().renderTimeline().empty());
+
+    double busy = rig.bus->trace().busyFraction(0, rig.eq.now());
+    EXPECT_GT(busy, 0.0);
+    EXPECT_LE(busy, 1.0);
+}
+
+TEST(Trace, VcdExportIsWellFormed)
+{
+    BusRig rig(2);
+    rig.bus->trace().setEnabled(true);
+    rig.runSegment(BusRig::statusSegment(0b01));
+    Segment gang;
+    gang.ceMask = 0b11;
+    gang.label = "gang reset";
+    gang.items.push_back(SegmentItem::command(opcode::kReset));
+    rig.runSegment(std::move(gang));
+
+    std::ostringstream os;
+    rig.bus->trace().writeVcd(os, "ch0");
+    std::string vcd = os.str();
+    EXPECT_NE(vcd.find("$timescale 1ps $end"), std::string::npos);
+    EXPECT_NE(vcd.find("$var wire 1 ! bus_busy"), std::string::npos);
+    EXPECT_NE(vcd.find("b00000011 \""), std::string::npos); // gang CE
+    EXPECT_NE(vcd.find("sgang_reset #"), std::string::npos);
+    // Busy toggles down after each of the two segments.
+    EXPECT_GE(static_cast<int>(std::count(vcd.begin(), vcd.end(), '!')),
+              4);
+}
+
+TEST(Trace, DisabledByDefault)
+{
+    BusRig rig(1);
+    rig.runSegment(BusRig::statusSegment(1));
+    EXPECT_TRUE(rig.bus->trace().events().empty());
+}
+
+} // namespace

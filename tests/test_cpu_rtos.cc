@@ -1,0 +1,220 @@
+/**
+ * @file
+ * CPU cost model and mini-RTOS kernel tests: cycle accounting, work
+ * serialization, the interrupt-priority lane, task priorities, and
+ * message lifecycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/rtos.hh"
+
+using namespace babol;
+using namespace babol::cpu;
+
+namespace {
+
+TEST(CpuModel, CyclesToTicksAtVariousFrequencies)
+{
+    EventQueue eq;
+    CpuModel mhz1000(eq, "a", 1000);
+    CpuModel mhz150(eq, "b", 150);
+    // 1000 cycles at 1 GHz = 1 us; at 150 MHz ≈ 6.67 us.
+    EXPECT_EQ(mhz1000.cyclesToTicks(1000), ticks::fromUs(1));
+    EXPECT_NEAR(ticks::toUs(mhz150.cyclesToTicks(1000)), 6.67, 0.01);
+}
+
+TEST(CpuModel, WorkItemsSerialize)
+{
+    EventQueue eq;
+    CpuModel cpu(eq, "cpu", 1000);
+    std::vector<Tick> finish;
+    cpu.execute(1000, [&] { finish.push_back(eq.now()); });
+    cpu.execute(2000, [&] { finish.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(finish.size(), 2u);
+    EXPECT_EQ(finish[0], ticks::fromUs(1));
+    EXPECT_EQ(finish[1], ticks::fromUs(3)); // queued behind the first
+    EXPECT_EQ(cpu.totalCycles(), 3000u);
+    EXPECT_EQ(cpu.busyTicks(), ticks::fromUs(3));
+}
+
+TEST(CpuModel, HighPriorityOvertakesQueuedWork)
+{
+    EventQueue eq;
+    CpuModel cpu(eq, "cpu", 1000);
+    std::vector<int> order;
+    cpu.execute(1000, [&] { order.push_back(0); }); // starts immediately
+    cpu.execute(1000, [&] { order.push_back(1); });
+    cpu.execute(1000, [&] { order.push_back(2); }, "isr",
+                CpuPriority::High);
+    eq.run();
+    // Item 0 is already running (non-preemptive); the High item jumps
+    // ahead of item 1.
+    EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST(CpuModel, SlowCoreTakesProportionallyLonger)
+{
+    EventQueue eq;
+    CpuModel fast(eq, "fast", 1000);
+    CpuModel slow(eq, "slow", 100);
+    Tick fast_done = 0, slow_done = 0;
+    fast.execute(5000, [&] { fast_done = eq.now(); });
+    slow.execute(5000, [&] { slow_done = eq.now(); });
+    eq.run();
+    EXPECT_EQ(slow_done, fast_done * 10);
+}
+
+TEST(CpuModel, IdleReflectsState)
+{
+    EventQueue eq;
+    CpuModel cpu(eq, "cpu", 1000);
+    EXPECT_TRUE(cpu.idle());
+    cpu.execute(100, [] {});
+    EXPECT_FALSE(cpu.idle());
+    eq.run();
+    EXPECT_TRUE(cpu.idle());
+}
+
+// --- RTOS kernel ---
+
+struct RecordingTask : public RtosTask
+{
+    RecordingTask(std::string name, int prio,
+                  std::vector<std::pair<std::string, std::uint64_t>> &log)
+        : RtosTask(std::move(name), prio), log_(log)
+    {}
+
+    void
+    onMessage(RtosKernel &, std::uint64_t msg) override
+    {
+        log_.emplace_back(taskName(), msg);
+    }
+
+    std::vector<std::pair<std::string, std::uint64_t>> &log_;
+};
+
+struct RtosRig
+{
+    EventQueue eq;
+    CpuModel cpu{eq, "cpu", 1000};
+    RtosKernel kernel{eq, "kernel", cpu};
+    std::vector<std::pair<std::string, std::uint64_t>> log;
+};
+
+TEST(Rtos, DeliversMessagesInOrder)
+{
+    RtosRig rig;
+    RecordingTask task("t", 1, rig.log);
+    rig.kernel.createTask(&task);
+    rig.kernel.send(&task, 1);
+    rig.kernel.send(&task, 2);
+    rig.eq.run();
+    ASSERT_EQ(rig.log.size(), 2u);
+    EXPECT_EQ(rig.log[0].second, 1u);
+    EXPECT_EQ(rig.log[1].second, 2u);
+    EXPECT_EQ(rig.kernel.messagesDelivered(), 2u);
+}
+
+TEST(Rtos, HigherPriorityTaskPreemptsQueueOrder)
+{
+    RtosRig rig;
+    RecordingTask low("low", 1, rig.log);
+    RecordingTask high("high", 9, rig.log);
+    rig.kernel.createTask(&low);
+    rig.kernel.createTask(&high);
+    // Enqueue low's messages first; high's must still deliver first
+    // once dispatching begins (after the first in-flight dispatch).
+    rig.kernel.send(&low, 1);
+    rig.kernel.send(&low, 2);
+    rig.kernel.send(&high, 3);
+    rig.eq.run();
+    ASSERT_EQ(rig.log.size(), 3u);
+    // The first dispatch may already have committed to 'low', but the
+    // high-priority message never comes last.
+    EXPECT_NE(rig.log[2].first, "high");
+}
+
+TEST(Rtos, DestroyedTaskMessagesDropped)
+{
+    RtosRig rig;
+    RecordingTask task("t", 1, rig.log);
+    rig.kernel.createTask(&task);
+    rig.kernel.send(&task, 1);
+    rig.kernel.destroyTask(&task);
+    rig.eq.run();
+    EXPECT_TRUE(rig.log.empty());
+}
+
+TEST(Rtos, DuplicateRegistrationPanics)
+{
+    RtosRig rig;
+    RecordingTask task("t", 1, rig.log);
+    rig.kernel.createTask(&task);
+    EXPECT_THROW(rig.kernel.createTask(&task), SimPanic);
+}
+
+TEST(Rtos, MessagesCostCpuTime)
+{
+    RtosRig rig;
+    RecordingTask task("t", 1, rig.log);
+    rig.kernel.createTask(&task);
+    rig.kernel.send(&task, 1);
+    rig.eq.run();
+    // taskCreate + queueSend + contextSwitch + queueReceive.
+    RtosCosts costs;
+    std::uint64_t expected = costs.taskCreate + costs.queueSend +
+                             costs.contextSwitch + costs.queueReceive;
+    EXPECT_EQ(rig.cpu.totalCycles(), expected);
+}
+
+TEST(Rtos, IsrSendChargesIsrEntry)
+{
+    RtosRig rig;
+    RecordingTask task("t", 1, rig.log);
+    rig.kernel.createTask(&task);
+    std::uint64_t before = rig.cpu.totalCycles();
+    rig.kernel.sendFromIsr(&task, 7);
+    rig.eq.run();
+    RtosCosts costs;
+    EXPECT_EQ(rig.cpu.totalCycles() - before,
+              costs.isrEntry + costs.queueSend + costs.contextSwitch +
+                  costs.queueReceive);
+    ASSERT_EQ(rig.log.size(), 1u);
+    EXPECT_EQ(rig.log[0].second, 7u);
+}
+
+TEST(Rtos, TasksCanSendDuringDelivery)
+{
+    RtosRig rig;
+
+    struct PingPong : public RtosTask
+    {
+        PingPong(std::string n, RtosTask *&peer, int &count)
+            : RtosTask(std::move(n), 1), peer_(peer), count_(count)
+        {}
+        void
+        onMessage(RtosKernel &kernel, std::uint64_t msg) override
+        {
+            if (++count_ < 6)
+                kernel.send(peer_, msg + 1);
+        }
+        RtosTask *&peer_;
+        int &count_;
+    };
+
+    int count = 0;
+    RtosTask *a_ptr = nullptr;
+    RtosTask *b_ptr = nullptr;
+    PingPong a("a", b_ptr, count), b("b", a_ptr, count);
+    a_ptr = &a;
+    b_ptr = &b;
+    rig.kernel.createTask(&a);
+    rig.kernel.createTask(&b);
+    rig.kernel.send(&a, 0);
+    rig.eq.run();
+    EXPECT_EQ(count, 6);
+}
+
+} // namespace

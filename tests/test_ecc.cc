@@ -1,0 +1,204 @@
+/**
+ * @file
+ * ECC engine tests: codeword layout, correction capability, failure
+ * detection, payload extraction, and the flash-column mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/ecc.hh"
+#include "sim/random.hh"
+
+using namespace babol;
+using namespace babol::core;
+
+namespace {
+
+TEST(Ecc, LayoutQuantities)
+{
+    EccEngine ecc;
+    EXPECT_EQ(ecc.codewordTotalBytes(), 1024u + 117u);
+    EXPECT_EQ(ecc.codewordsFor(16384), 16u);
+    EXPECT_EQ(ecc.codewordsFor(1), 1u);
+    EXPECT_EQ(ecc.codewordsFor(1025), 2u);
+    EXPECT_EQ(ecc.flashBytesFor(16384), 16u * 1141u);
+    // The default layout fills a 16384+1872 page exactly.
+    EXPECT_EQ(ecc.flashBytesFor(16384), 16384u + 1872u);
+}
+
+TEST(Ecc, FlashColumnMapping)
+{
+    EccEngine ecc;
+    EXPECT_EQ(ecc.flashColumnFor(0), 0u);
+    EXPECT_EQ(ecc.flashColumnFor(1024), 1141u);
+    EXPECT_EQ(ecc.flashColumnFor(4096), 4u * 1141u);
+    EXPECT_THROW(ecc.flashColumnFor(100), SimPanic);
+}
+
+TEST(Ecc, EncodeDecodeCleanRoundTrip)
+{
+    EccEngine ecc;
+    std::vector<std::uint8_t> data(4096);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 17);
+
+    auto image = ecc.encode(data);
+    ASSERT_EQ(image.size(), ecc.flashBytesFor(4096));
+
+    EccReport report = ecc.decode(image, 0, {});
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.codewords, 4u);
+    EXPECT_EQ(report.correctedBits, 0u);
+    EXPECT_EQ(ecc.extractData(image, 4096), data);
+}
+
+TEST(Ecc, CorrectsUpToCapability)
+{
+    EccEngine ecc; // 8 bits per codeword
+    std::vector<std::uint8_t> data(1024, 0xAB);
+    auto image = ecc.encode(data);
+
+    std::vector<std::uint32_t> flips;
+    for (int i = 0; i < 8; ++i) {
+        std::uint32_t bit = static_cast<std::uint32_t>(i * 991 + 3);
+        flips.push_back(bit);
+        image[bit / 8] ^= static_cast<std::uint8_t>(1 << (bit % 8));
+    }
+    EccReport report = ecc.decode(image, 0, flips);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.correctedBits, 8u);
+    EXPECT_EQ(ecc.extractData(image, 1024), data);
+}
+
+TEST(Ecc, FailsBeyondCapabilityAndLeavesCodewordDirty)
+{
+    EccEngine ecc;
+    std::vector<std::uint8_t> data(2048, 0x11); // 2 codewords
+    auto image = ecc.encode(data);
+
+    // 9 flips in codeword 0, 1 flip in codeword 1.
+    std::vector<std::uint32_t> flips;
+    for (int i = 0; i < 9; ++i)
+        flips.push_back(static_cast<std::uint32_t>(i * 800 + 5));
+    flips.push_back(1141 * 8 + 100); // codeword 1 territory
+    for (std::uint32_t bit : flips)
+        image[bit / 8] ^= static_cast<std::uint8_t>(1 << (bit % 8));
+
+    EccReport report = ecc.decode(image, 0, flips);
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.failedCodewords, 1u);
+    EXPECT_EQ(report.correctedBits, 1u); // only codeword 1 corrected
+
+    // Codeword 1's payload is intact; codeword 0's is not.
+    auto extracted = ecc.extractData(image, 2048);
+    EXPECT_NE(std::vector<std::uint8_t>(extracted.begin(),
+                                        extracted.begin() + 1024),
+              std::vector<std::uint8_t>(1024, 0x11));
+    EXPECT_EQ(std::vector<std::uint8_t>(extracted.begin() + 1024,
+                                        extracted.end()),
+              std::vector<std::uint8_t>(1024, 0x11));
+}
+
+TEST(Ecc, PartialCaptureUsesPageColumn)
+{
+    EccEngine ecc;
+    std::vector<std::uint8_t> data(16384, 0x3C);
+    auto image = ecc.encode(data);
+
+    // Take codewords 4..7 out of the full image, flip a bit inside.
+    std::uint32_t page_col = ecc.flashColumnFor(4 * 1024);
+    std::vector<std::uint8_t> slice(image.begin() + page_col,
+                                    image.begin() + page_col + 4 * 1141);
+    std::uint32_t page_bit = (page_col + 10) * 8 + 3;
+    slice[10] ^= 1 << 3;
+
+    std::vector<std::uint32_t> flips{page_bit};
+    EccReport report = ecc.decode(slice, page_col, flips);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.correctedBits, 1u);
+    EXPECT_EQ(ecc.extractData(slice, 4096),
+              std::vector<std::uint8_t>(4096, 0x3C));
+}
+
+TEST(Ecc, FlipsOutsideCaptureAreIgnored)
+{
+    EccEngine ecc;
+    std::vector<std::uint8_t> data(1024, 0x77);
+    auto image = ecc.encode(data);
+    // Flip positions far beyond this capture.
+    std::vector<std::uint32_t> far{200000u, 300000u};
+    EccReport report = ecc.decode(image, 0, far);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.correctedBits, 0u);
+}
+
+TEST(Ecc, RawUnencodedPagesFailChecksum)
+{
+    EccEngine ecc;
+    std::vector<std::uint8_t> raw(1141, 0xFF); // never went through encode
+    EccReport report = ecc.decode(raw, 0, {});
+    EXPECT_FALSE(report.ok());
+}
+
+TEST(Ecc, NonCodewordAlignedDecodePanics)
+{
+    EccEngine ecc;
+    std::vector<std::uint8_t> bad(100);
+    EXPECT_THROW(ecc.decode(bad, 0, {}), SimPanic);
+}
+
+TEST(Ecc, CustomParamsRespectCapability)
+{
+    EccParams params;
+    params.codewordDataBytes = 512;
+    params.parityBytes = 32;
+    params.correctBits = 2;
+    EccEngine ecc(params);
+
+    std::vector<std::uint8_t> data(512, 0x01);
+    auto image = ecc.encode(data);
+    std::vector<std::uint32_t> flips{8, 16, 24};
+    for (std::uint32_t bit : flips)
+        image[bit / 8] ^= static_cast<std::uint8_t>(1 << (bit % 8));
+    EXPECT_FALSE(ecc.decode(image, 0, flips).ok()); // 3 > 2
+}
+
+/** Property: random flip patterns round-trip iff within capability. */
+TEST(Ecc, RandomFlipFuzz)
+{
+    EccEngine ecc;
+    Rng rng(0xECC);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<std::uint8_t> data(4096);
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+        auto image = ecc.encode(data);
+
+        std::uint32_t per_cw = static_cast<std::uint32_t>(
+            rng.uniform(0, 8)); // within capability
+        std::vector<std::uint32_t> flips;
+        for (std::uint32_t cw = 0; cw < 4; ++cw) {
+            for (std::uint32_t k = 0; k < per_cw; ++k) {
+                // Distinct positions inside the codeword.
+                std::uint32_t bit =
+                    cw * 1141 * 8 +
+                    static_cast<std::uint32_t>(rng.uniform(0, 1140)) * 8 +
+                    (k % 8);
+                if (std::find(flips.begin(), flips.end(), bit) !=
+                    flips.end()) {
+                    continue;
+                }
+                flips.push_back(bit);
+                image[bit / 8] ^=
+                    static_cast<std::uint8_t>(1 << (bit % 8));
+            }
+        }
+        EccReport report = ecc.decode(image, 0, flips);
+        EXPECT_TRUE(report.ok()) << "trial " << trial;
+        EXPECT_EQ(ecc.extractData(image, 4096), data) << "trial " << trial;
+    }
+}
+
+} // namespace

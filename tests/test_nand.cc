@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Flash-model tests below the bus level: geometry/address codec,
+ * FlashArray semantics (wear, error injection, NAND constraints), and
+ * the ONFI parameter-page codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nand/flash_array.hh"
+#include "nand/geometry.hh"
+#include "nand/param_page.hh"
+#include "nand/timing.hh"
+
+using namespace babol;
+using namespace babol::nand;
+
+namespace {
+
+Geometry
+defaultGeo()
+{
+    return hynixPackage().geometry;
+}
+
+TEST(Geometry, DerivedQuantities)
+{
+    Geometry g = defaultGeo();
+    EXPECT_EQ(g.pageTotalBytes(), g.pageDataBytes + g.pageSpareBytes);
+    EXPECT_EQ(g.blocksPerLun(), g.planesPerLun * g.blocksPerPlane);
+    EXPECT_EQ(g.pagesPerLun(),
+              static_cast<std::uint64_t>(g.blocksPerLun()) *
+                  g.pagesPerBlock);
+}
+
+TEST(Geometry, RowCodecRoundTrip)
+{
+    Geometry g = defaultGeo();
+    RowAddress row{0, 1234, 200};
+    EXPECT_EQ(decodeRow(g, encodeRow(g, row)), row);
+}
+
+TEST(Geometry, ColumnCodecRoundTrip)
+{
+    Geometry g = defaultGeo();
+    for (std::uint32_t col : {0u, 1u, 255u, 256u, 16383u, 18255u})
+        EXPECT_EQ(decodeColumn(g, encodeColumn(g, col)), col);
+}
+
+TEST(Geometry, ColRowConcatenation)
+{
+    Geometry g = defaultGeo();
+    RowAddress row{0, 77, 13};
+    auto bytes = encodeColRow(g, 4096, row);
+    ASSERT_EQ(bytes.size(), 5u);
+    std::vector<std::uint8_t> col(bytes.begin(), bytes.begin() + 2);
+    std::vector<std::uint8_t> rowb(bytes.begin() + 2, bytes.end());
+    EXPECT_EQ(decodeColumn(g, col), 4096u);
+    EXPECT_EQ(decodeRow(g, rowb), row);
+}
+
+TEST(Geometry, OutOfRangePanics)
+{
+    Geometry g = defaultGeo();
+    EXPECT_THROW(encodeRow(g, {0, g.blocksPerLun(), 0}), SimPanic);
+    EXPECT_THROW(encodeRow(g, {0, 0, g.pagesPerBlock}), SimPanic);
+    EXPECT_THROW(encodeRow(g, {g.lunsPerPackage, 0, 0}), SimPanic);
+    EXPECT_THROW(encodeColumn(g, g.pageTotalBytes()), SimPanic);
+}
+
+TEST(Geometry, PlaneFromBlockInterleaving)
+{
+    Geometry g = defaultGeo(); // 2 planes
+    EXPECT_EQ((RowAddress{0, 0, 0}).plane(g), 0u);
+    EXPECT_EQ((RowAddress{0, 1, 0}).plane(g), 1u);
+    EXPECT_EQ((RowAddress{0, 2, 0}).plane(g), 0u);
+}
+
+/** Property sweep: the codec round-trips on assorted geometries. */
+struct GeoParam
+{
+    std::uint32_t luns, planes, blocks, pages;
+};
+
+class GeometrySweep : public testing::TestWithParam<GeoParam>
+{};
+
+TEST_P(GeometrySweep, CodecRoundTripsEverywhere)
+{
+    GeoParam p = GetParam();
+    Geometry g;
+    g.lunsPerPackage = p.luns;
+    g.planesPerLun = p.planes;
+    g.blocksPerPlane = p.blocks;
+    g.pagesPerBlock = p.pages;
+
+    Rng rng(p.luns * 131 + p.blocks);
+    for (int i = 0; i < 200; ++i) {
+        RowAddress row;
+        row.lun = static_cast<std::uint32_t>(rng.uniform(0, p.luns - 1));
+        row.block = static_cast<std::uint32_t>(
+            rng.uniform(0, static_cast<std::uint64_t>(p.planes) * p.blocks -
+                               1));
+        row.page = static_cast<std::uint32_t>(rng.uniform(0, p.pages - 1));
+        EXPECT_EQ(decodeRow(g, encodeRow(g, row)), row);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GeometrySweep,
+    testing::Values(GeoParam{1, 1, 64, 32}, GeoParam{1, 2, 1024, 256},
+                    GeoParam{2, 2, 512, 128}, GeoParam{4, 4, 256, 64},
+                    GeoParam{1, 1, 4096, 512}));
+
+// --- FlashArray ---
+
+TEST(FlashArray, EraseProgramReadCycle)
+{
+    Geometry g = defaultGeo();
+    FlashArray array(g, 1);
+    EXPECT_EQ(array.eraseBlock(3, false), ArrayStatus::Ok);
+
+    std::vector<std::uint8_t> data(g.pageTotalBytes(), 0x5A);
+    EXPECT_EQ(array.programPage(3, 0, data), ArrayStatus::Ok);
+
+    PageLoad load = array.readPage(3, 0, 0, false);
+    EXPECT_TRUE(load.programmed);
+    ASSERT_EQ(load.data.size(), g.pageTotalBytes());
+    // Injected errors are exactly the flipped positions.
+    std::vector<std::uint8_t> expect(g.pageTotalBytes(), 0x5A);
+    for (std::uint32_t bit : load.flippedBits)
+        expect[bit / 8] ^= static_cast<std::uint8_t>(1 << (bit % 8));
+    EXPECT_EQ(load.data, expect);
+}
+
+TEST(FlashArray, UnprogrammedPageReadsErased)
+{
+    FlashArray array(defaultGeo(), 2);
+    PageLoad load = array.readPage(0, 0, 0, false);
+    EXPECT_FALSE(load.programmed);
+    EXPECT_TRUE(load.flippedBits.empty());
+    for (std::uint8_t b : load.data)
+        ASSERT_EQ(b, 0xFF);
+}
+
+TEST(FlashArray, OutOfOrderProgramRejected)
+{
+    Geometry g = defaultGeo();
+    FlashArray array(g, 3);
+    array.eraseBlock(0, false);
+    std::vector<std::uint8_t> data(64, 1);
+    EXPECT_EQ(array.programPage(0, 2, data), ArrayStatus::ProtocolError);
+    EXPECT_EQ(array.programPage(0, 0, data), ArrayStatus::Ok);
+    EXPECT_EQ(array.programPage(0, 1, data), ArrayStatus::Ok);
+}
+
+TEST(FlashArray, DoubleProgramRejected)
+{
+    FlashArray array(defaultGeo(), 4);
+    array.eraseBlock(0, false);
+    std::vector<std::uint8_t> data(64, 1);
+    EXPECT_EQ(array.programPage(0, 0, data), ArrayStatus::Ok);
+    EXPECT_EQ(array.programPage(0, 0, data), ArrayStatus::ProtocolError);
+}
+
+TEST(FlashArray, EraseResetsProgramOrderAndData)
+{
+    Geometry g = defaultGeo();
+    FlashArray array(g, 5);
+    array.eraseBlock(1, false);
+    std::vector<std::uint8_t> data(64, 7);
+    array.programPage(1, 0, data);
+    array.eraseBlock(1, false);
+    EXPECT_FALSE(array.readPage(1, 0, 0, false).programmed);
+    EXPECT_EQ(array.programPage(1, 0, data), ArrayStatus::Ok);
+    EXPECT_EQ(array.peCycles(1), 2u);
+}
+
+TEST(FlashArray, RberGrowsWithWear)
+{
+    FlashArray array(defaultGeo(), 6);
+    array.eraseBlock(0, false);
+    double fresh = array.effectiveRber(0, 0, false);
+    array.agePeCycles(0, 2000);
+    std::uint32_t optimal = array.optimalRetryLevel(0);
+    double aged = array.effectiveRber(0, optimal, false);
+    EXPECT_GT(aged, fresh);
+}
+
+TEST(FlashArray, RberMinimalAtOptimalLevel)
+{
+    FlashArray array(defaultGeo(), 7);
+    array.agePeCycles(0, 1600); // optimal level = 2
+    std::uint32_t optimal = array.optimalRetryLevel(0);
+    EXPECT_EQ(optimal, 2u);
+    double at_opt = array.effectiveRber(0, optimal, false);
+    EXPECT_LT(at_opt, array.effectiveRber(0, optimal - 1, false));
+    EXPECT_LT(at_opt, array.effectiveRber(0, optimal + 1, false));
+}
+
+TEST(FlashArray, SlcModeCutsRber)
+{
+    FlashArray array(defaultGeo(), 8);
+    array.eraseBlock(0, true);
+    EXPECT_TRUE(array.isSlcBlock(0));
+    EXPECT_LT(array.effectiveRber(0, 0, true),
+              array.effectiveRber(0, 0, false) * 0.1);
+    // A plain erase leaves SLC mode.
+    array.eraseBlock(0, false);
+    EXPECT_FALSE(array.isSlcBlock(0));
+}
+
+TEST(FlashArray, EnduranceEventuallyFailsBlocks)
+{
+    ReliabilityParams rel;
+    rel.endurancePe = 50;
+    FlashArray array(defaultGeo(), 9, rel);
+    bool failed = false;
+    for (int i = 0; i < 300 && !failed; ++i)
+        failed = array.eraseBlock(0, false) == ArrayStatus::Fail;
+    EXPECT_TRUE(failed);
+    EXPECT_TRUE(array.isBadBlock(0));
+    // Bad blocks refuse further work.
+    EXPECT_EQ(array.eraseBlock(0, false), ArrayStatus::Fail);
+    std::vector<std::uint8_t> data(16, 0);
+    EXPECT_EQ(array.programPage(0, 0, data), ArrayStatus::Fail);
+}
+
+// --- Parameter page ---
+
+TEST(ParamPage, EncodeDecodeRoundTrip)
+{
+    PackageConfig cfg = toshibaPackage();
+    auto page = encodeParamPage(cfg);
+    ASSERT_EQ(page.size(), kParamPageBytes);
+    auto info = decodeParamPage(page);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->partName, cfg.partName);
+    EXPECT_EQ(info->vendor, cfg.vendor);
+    EXPECT_EQ(info->geometry, cfg.geometry);
+    EXPECT_EQ(info->maxTransferMT, cfg.maxTransferMT);
+    EXPECT_EQ(info->supportsPslc, cfg.supportsPslc);
+    EXPECT_EQ(info->supportsSuspend, cfg.supportsSuspend);
+    EXPECT_EQ(info->tR, cfg.timing.tR);
+    EXPECT_EQ(info->tProg, cfg.timing.tProg);
+    EXPECT_EQ(info->tBers, cfg.timing.tBers);
+}
+
+TEST(ParamPage, CorruptionIsDetected)
+{
+    auto page = encodeParamPage(hynixPackage());
+    page[20] ^= 0x01;
+    EXPECT_FALSE(decodeParamPage(page).has_value());
+}
+
+TEST(ParamPage, BadSignatureRejected)
+{
+    auto page = encodeParamPage(hynixPackage());
+    page[0] = 'X';
+    EXPECT_FALSE(decodeParamPage(page).has_value());
+}
+
+TEST(ParamPage, CrcMatchesKnownProperties)
+{
+    // CRC of the empty span is the initial value.
+    EXPECT_EQ(onfiCrc16({}), 0x4F4E);
+    // CRC changes under any single-byte change.
+    std::vector<std::uint8_t> a{1, 2, 3, 4}, b{1, 2, 3, 5};
+    EXPECT_NE(onfiCrc16(a), onfiCrc16(b));
+}
+
+TEST(Presets, TableIParameters)
+{
+    using namespace babol::time_literals;
+    EXPECT_EQ(hynixPackage().timing.tR, 100_us);
+    EXPECT_EQ(toshibaPackage().timing.tR, 78_us);
+    EXPECT_EQ(micronPackage().timing.tR, 53_us);
+    EXPECT_EQ(hynixPackage().geometry.pageDataBytes, 16384u);
+    EXPECT_EQ(hynixPackage().lunsWiredPerChannel, 8u);
+    EXPECT_EQ(micronPackage().lunsWiredPerChannel, 2u);
+}
+
+TEST(Presets, VendorLookupConsistent)
+{
+    for (Vendor v : {Vendor::Hynix, Vendor::Toshiba, Vendor::Micron})
+        EXPECT_EQ(packageFor(v).vendor, v);
+    EXPECT_EQ(packageFor(Vendor::Generic).vendor, Vendor::Generic);
+}
+
+} // namespace

@@ -1,0 +1,427 @@
+/**
+ * @file
+ * Coroutine operation library tests: the full §V repertoire at the
+ * operation level — features, identification, retry, gang reads, cache
+ * reads, multi-plane reads, suspend/resume — plus runtime semantics
+ * (nesting, exception propagation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/calib/calibration.hh"
+#include "core/coro/coro_controller.hh"
+#include "core/coro/ops.hh"
+
+using namespace babol;
+using namespace babol::core;
+
+namespace {
+
+struct OpsRig
+{
+    EventQueue eq;
+    ChannelSystem sys;
+    CoroController ctrl;
+
+    explicit OpsRig(std::uint32_t chips = 2, std::uint32_t retries = 0,
+                    double sigma = 0.05)
+        : sys(eq, "ssd", makeCfg(chips, sigma)),
+          ctrl(eq, "ctrl", sys, makeSoft(retries))
+    {}
+
+    static ChannelConfig
+    makeCfg(std::uint32_t chips, double sigma)
+    {
+        ChannelConfig cfg;
+        cfg.package = nand::hynixPackage();
+        cfg.package.timing.tRSigma = sigma;
+        cfg.chips = chips;
+        cfg.seed = 11;
+        return cfg;
+    }
+
+    static SoftControllerConfig
+    makeSoft(std::uint32_t retries)
+    {
+        SoftControllerConfig soft;
+        soft.maxReadRetries = retries;
+        return soft;
+    }
+
+    OpEnv &env() { return ctrl.env(); }
+
+    template <typename T>
+    T
+    runOp(Op<T> op)
+    {
+        bool done = false;
+        op.setOnDone([&] { done = true; });
+        ctrl.runtime().startOp(op.handle());
+        eq.run();
+        EXPECT_TRUE(done);
+        return std::move(op.result());
+    }
+
+    OpResult
+    runReq(FlashRequest req)
+    {
+        OpResult out;
+        req.onComplete = [&](OpResult r) { out = r; };
+        ctrl.submit(std::move(req));
+        eq.run();
+        return out;
+    }
+
+    void
+    prepare(std::uint32_t chip, std::uint32_t block, std::uint32_t pages,
+            std::uint8_t fill)
+    {
+        std::vector<std::uint8_t> payload(sys.pageDataBytes(), fill);
+        sys.dram().write(0, payload);
+        FlashRequest erase;
+        erase.kind = FlashOpKind::Erase;
+        erase.chip = chip;
+        erase.row = {0, block, 0};
+        ASSERT_TRUE(runReq(erase).ok);
+        for (std::uint32_t p = 0; p < pages; ++p) {
+            FlashRequest prog;
+            prog.kind = FlashOpKind::Program;
+            prog.chip = chip;
+            prog.row = {0, block, p};
+            prog.dramAddr = 0;
+            ASSERT_TRUE(runReq(prog).ok);
+        }
+    }
+};
+
+TEST(Ops, ReadStatusReturnsReadyByte)
+{
+    OpsRig rig;
+    std::uint8_t st = rig.runOp(readStatusOp(rig.env(), 0));
+    EXPECT_TRUE(st & nand::status::kRdy);
+    EXPECT_TRUE(st & nand::status::kArdy);
+}
+
+TEST(Ops, SetGetFeaturesRoundTrip)
+{
+    OpsRig rig;
+    rig.runOp(setFeaturesOp(rig.env(), 1, nand::feature::kVendorReadRetry,
+                            {5, 0, 0, 0}));
+    EXPECT_EQ(rig.sys.lun(1).retryLevel(), 5u);
+    auto params = rig.runOp(
+        getFeaturesOp(rig.env(), 1, nand::feature::kVendorReadRetry));
+    EXPECT_EQ(params[0], 5u);
+}
+
+TEST(Ops, ReadIdFindsOnfiSignature)
+{
+    OpsRig rig;
+    auto id = rig.runOp(
+        readIdOp(rig.env(), 0, nand::id_address::kOnfi, 4));
+    EXPECT_EQ(std::string(id.begin(), id.end()), "ONFI");
+}
+
+TEST(Ops, ReadParamPageDecodes)
+{
+    OpsRig rig;
+    nand::ParamPageInfo info = rig.runOp(readParamPageOp(rig.env(), 1));
+    EXPECT_EQ(info.geometry, rig.sys.config().package.geometry);
+    EXPECT_EQ(info.tR, rig.sys.config().package.timing.tR);
+}
+
+TEST(Ops, ResetLeavesLunReady)
+{
+    OpsRig rig;
+    std::uint8_t st = rig.runOp(resetOp(rig.env(), 0));
+    EXPECT_TRUE(st & nand::status::kRdy);
+    EXPECT_TRUE(rig.sys.lun(0).ready());
+}
+
+TEST(Ops, ReadWithRetryRecoversAgedBlock)
+{
+    OpsRig rig(1, 6);
+    rig.prepare(0, 0, 2, 0x91);
+    rig.sys.lun(0).array().agePeCycles(0, 2600);
+
+    FlashRequest req;
+    req.kind = FlashOpKind::Read;
+    req.row = {0, 0, 0};
+    req.dramAddr = 1 << 20;
+    OpResult r = rig.runReq(req);
+    EXPECT_TRUE(r.ok);
+    EXPECT_GT(r.retries, 0u);
+
+    std::vector<std::uint8_t> got(rig.sys.pageDataBytes());
+    rig.sys.dram().read(1 << 20, got);
+    EXPECT_EQ(got, std::vector<std::uint8_t>(rig.sys.pageDataBytes(),
+                                             0x91));
+}
+
+TEST(Ops, ReadWithoutRetryFailsOnAgedBlock)
+{
+    OpsRig rig(1, 0);
+    rig.prepare(0, 0, 1, 0x91);
+    rig.sys.lun(0).array().agePeCycles(0, 2600);
+
+    FlashRequest req;
+    req.kind = FlashOpKind::Read;
+    req.row = {0, 0, 0};
+    req.dramAddr = 1 << 20;
+    OpResult r = rig.runReq(req);
+    EXPECT_FALSE(r.ok);
+    EXPECT_GT(r.failedCodewords, 0u);
+}
+
+TEST(Ops, GangReadServesFromAReplica)
+{
+    OpsRig rig(2, 0, 0.20);
+    rig.prepare(0, 0, 1, 0x55);
+    rig.prepare(1, 0, 1, 0x55);
+
+    GangReadResult g = rig.runOp(gangReadOp(
+        rig.env(), 0b11, {0, 0, 0}, 0, rig.sys.pageDataBytes(), 1 << 20));
+    EXPECT_TRUE(g.result.ok);
+    EXPECT_LE(g.servedChip, 1u);
+
+    std::vector<std::uint8_t> got(rig.sys.pageDataBytes());
+    rig.sys.dram().read(1 << 20, got);
+    EXPECT_EQ(got, std::vector<std::uint8_t>(rig.sys.pageDataBytes(),
+                                             0x55));
+}
+
+TEST(Ops, CacheReadStreamsDistinctPages)
+{
+    OpsRig rig(1);
+    // Three pages with distinct contents.
+    std::vector<std::uint8_t> payload(rig.sys.pageDataBytes());
+    FlashRequest erase;
+    erase.kind = FlashOpKind::Erase;
+    erase.row = {0, 0, 0};
+    ASSERT_TRUE(rig.runReq(erase).ok);
+    for (std::uint32_t p = 0; p < 3; ++p) {
+        std::fill(payload.begin(), payload.end(),
+                  static_cast<std::uint8_t>(0x20 + p));
+        rig.sys.dram().write(0, payload);
+        FlashRequest prog;
+        prog.kind = FlashOpKind::Program;
+        prog.row = {0, 0, p};
+        prog.dramAddr = 0;
+        ASSERT_TRUE(rig.runReq(prog).ok);
+    }
+
+    OpResult r = rig.runOp(
+        cacheReadSeqOp(rig.env(), 0, {0, 0, 0}, 3, 1 << 20));
+    ASSERT_TRUE(r.ok);
+    for (std::uint32_t p = 0; p < 3; ++p) {
+        std::vector<std::uint8_t> got(rig.sys.pageDataBytes());
+        rig.sys.dram().read((1 << 20) +
+                                static_cast<std::uint64_t>(p) *
+                                    rig.sys.pageDataBytes(),
+                            got);
+        EXPECT_EQ(got, std::vector<std::uint8_t>(
+                           rig.sys.pageDataBytes(),
+                           static_cast<std::uint8_t>(0x20 + p)))
+            << "page " << p;
+    }
+}
+
+TEST(Ops, CacheReadBeatsPlainReadsOnLatency)
+{
+    OpsRig rig(1);
+    rig.prepare(0, 0, 6, 0x44);
+
+    Tick t0 = rig.eq.now();
+    OpResult r = rig.runOp(
+        cacheReadSeqOp(rig.env(), 0, {0, 0, 0}, 6, 1 << 20));
+    ASSERT_TRUE(r.ok);
+    Tick cached = rig.eq.now() - t0;
+
+    t0 = rig.eq.now();
+    for (std::uint32_t p = 0; p < 6; ++p) {
+        FlashRequest req;
+        req.kind = FlashOpKind::Read;
+        req.row = {0, 0, p};
+        req.dramAddr = 1 << 20;
+        ASSERT_TRUE(rig.runReq(req).ok);
+    }
+    Tick plain = rig.eq.now() - t0;
+    EXPECT_LT(cached, plain);
+}
+
+TEST(Ops, CacheProgramStreamsAndVerifies)
+{
+    OpsRig rig(1);
+    FlashRequest erase;
+    erase.kind = FlashOpKind::Erase;
+    erase.row = {0, 0, 0};
+    ASSERT_TRUE(rig.runReq(erase).ok);
+
+    // Stage four distinct pages contiguously and cache-program them.
+    const std::uint32_t page = rig.sys.pageDataBytes();
+    for (std::uint32_t p = 0; p < 4; ++p) {
+        std::vector<std::uint8_t> payload(
+            page, static_cast<std::uint8_t>(0x60 + p));
+        rig.sys.dram().write(static_cast<std::uint64_t>(p) * page,
+                             payload);
+    }
+    OpResult r = rig.runOp(
+        cacheProgramSeqOp(rig.env(), 0, {0, 0, 0}, 4, 0));
+    ASSERT_TRUE(r.ok);
+
+    // Every page reads back with its own fill.
+    for (std::uint32_t p = 0; p < 4; ++p) {
+        FlashRequest read;
+        read.kind = FlashOpKind::Read;
+        read.row = {0, 0, p};
+        read.dramAddr = 8 << 20;
+        ASSERT_TRUE(rig.runReq(read).ok);
+        std::vector<std::uint8_t> got(page);
+        rig.sys.dram().read(8 << 20, got);
+        EXPECT_EQ(got, std::vector<std::uint8_t>(
+                           page, static_cast<std::uint8_t>(0x60 + p)))
+            << "page " << p;
+    }
+}
+
+TEST(Ops, CacheProgramBeatsPlainProgramsOnLatency)
+{
+    OpsRig rig(1);
+    const std::uint32_t page = rig.sys.pageDataBytes();
+    std::vector<std::uint8_t> payload(6 * page, 0x13);
+    rig.sys.dram().write(0, payload);
+
+    FlashRequest erase;
+    erase.kind = FlashOpKind::Erase;
+    erase.row = {0, 0, 0};
+    ASSERT_TRUE(rig.runReq(erase).ok);
+    Tick t0 = rig.eq.now();
+    ASSERT_TRUE(
+        rig.runOp(cacheProgramSeqOp(rig.env(), 0, {0, 0, 0}, 6, 0)).ok);
+    Tick cached = rig.eq.now() - t0;
+
+    FlashRequest erase2;
+    erase2.kind = FlashOpKind::Erase;
+    erase2.row = {0, 2, 0};
+    ASSERT_TRUE(rig.runReq(erase2).ok);
+    t0 = rig.eq.now();
+    for (std::uint32_t p = 0; p < 6; ++p) {
+        FlashRequest prog;
+        prog.kind = FlashOpKind::Program;
+        prog.row = {0, 2, p};
+        prog.dramAddr = static_cast<std::uint64_t>(p) * page;
+        ASSERT_TRUE(rig.runReq(prog).ok);
+    }
+    Tick plain = rig.eq.now() - t0;
+
+    // The transfer of page N+1 overlaps the program of page N.
+    EXPECT_LT(cached, plain);
+}
+
+TEST(Ops, MultiPlaneReadFetchesBothPlanes)
+{
+    OpsRig rig(1);
+    rig.prepare(0, 0, 1, 0xA0); // plane 0
+    rig.prepare(0, 1, 1, 0xA1); // plane 1
+
+    OpResult r = rig.runOp(multiPlaneReadOp(rig.env(), 0, {0, 0, 0},
+                                            {0, 1, 0}, 1 << 20, 2 << 20));
+    ASSERT_TRUE(r.ok);
+    std::vector<std::uint8_t> got(rig.sys.pageDataBytes());
+    rig.sys.dram().read(1 << 20, got);
+    EXPECT_EQ(got[0], 0xA0);
+    rig.sys.dram().read(2 << 20, got);
+    EXPECT_EQ(got[0], 0xA1);
+}
+
+TEST(Ops, MultiPlaneSamePlanePanics)
+{
+    OpsRig rig(1);
+    EXPECT_THROW(
+        rig.runOp(multiPlaneReadOp(rig.env(), 0, {0, 0, 0}, {0, 2, 0},
+                                   1 << 20, 2 << 20)),
+        SimPanic);
+}
+
+/**
+ * A suspend-aware firmware flow as one coroutine: start a long erase,
+ * suspend it mid-flight, service a latency-critical read, resume, and
+ * confirm the erase still completes — the non-standard operation
+ * family of [23], [54] written in ~30 lines of operation code.
+ */
+Op<OpResult>
+suspendScenarioOp(OpEnv &env, bool *interim_read_ok)
+{
+    using namespace babol::time_literals;
+    using namespace nand;
+
+    // Latch the erase without polling (the op stays in flight).
+    Transaction er(0, "ERASE.latch c0");
+    er.add(ChipControl{1});
+    er.add(CaWriter::command(opcode::kErase1)
+               .addr(encodeRow(env.geo(), {0, 1, 0}))
+               .cmd(opcode::kErase2));
+    co_await env.rt.submit(std::move(er));
+
+    // Let the erase run for a while, then park it.
+    co_await env.rt.sleepFor(300_us);
+    std::uint8_t st = co_await suspendOp(env, 0);
+    babol_assert(st & status::kCsp, "suspend did not park the erase");
+
+    // Interim latency-critical read while the erase is parked.
+    FlashRequest read;
+    read.kind = FlashOpKind::Read;
+    read.row = {0, 0, 0};
+    read.dramAddr = 1 << 20;
+    OpResult r = co_await readOp(env, read);
+    *interim_read_ok = r.ok;
+
+    // Resume and wait for the erase to really finish (ARDY set again,
+    // CSP clear).
+    co_await resumeOp(env, 0);
+    do {
+        st = co_await readStatusOp(env, 0);
+    } while (!(st & status::kRdy) || !(st & status::kArdy));
+
+    OpResult out;
+    out.flashFail = st & status::kFail;
+    out.ok = !out.flashFail;
+    co_return out;
+}
+
+TEST(Ops, SuspendResumeEraseWithInterimRead)
+{
+    OpsRig rig(1);
+    rig.prepare(0, 0, 1, 0x77);
+    std::uint64_t erases_before = rig.sys.lun(0).completedErases();
+
+    bool interim_read_ok = false;
+    OpResult r = rig.runOp(suspendScenarioOp(rig.env(),
+                                             &interim_read_ok));
+    EXPECT_TRUE(r.ok);
+    EXPECT_TRUE(interim_read_ok);
+    EXPECT_FALSE(rig.sys.lun(0).suspended());
+    EXPECT_EQ(rig.sys.lun(0).completedErases(), erases_before + 1);
+
+    // The interim read returned the right bytes.
+    std::vector<std::uint8_t> got(rig.sys.pageDataBytes());
+    rig.sys.dram().read(1 << 20, got);
+    EXPECT_EQ(got, std::vector<std::uint8_t>(rig.sys.pageDataBytes(),
+                                             0x77));
+}
+
+TEST(Ops, MisalignedPartialReadPanics)
+{
+    OpsRig rig(1);
+    rig.prepare(0, 0, 1, 0x00);
+    FlashRequest req;
+    req.kind = FlashOpKind::Read;
+    req.row = {0, 0, 0};
+    req.column = 100; // not codeword aligned
+    req.dataBytes = 1024;
+    req.dramAddr = 1 << 20;
+    req.onComplete = [](OpResult) {};
+    rig.ctrl.submit(std::move(req));
+    EXPECT_THROW(rig.eq.run(), SimPanic);
+}
+
+} // namespace

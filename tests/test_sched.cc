@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Scheduler policy tests: transaction ordering, round-robin fairness
+ * bounds, priority semantics, admission filtering, and factories.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/sched.hh"
+
+using namespace babol;
+using namespace babol::core;
+
+namespace {
+
+Transaction
+txn(std::uint32_t chip, int priority = 0, const char *label = "t")
+{
+    Transaction t(chip, label);
+    t.priority = priority;
+    return t;
+}
+
+FlashRequest
+req(std::uint32_t chip, int priority = 0)
+{
+    FlashRequest r;
+    r.chip = chip;
+    r.priority = priority;
+    return r;
+}
+
+TEST(TxnSched, FifoPreservesOrder)
+{
+    FifoTxnScheduler sched;
+    sched.enqueue(txn(2, 0, "a"));
+    sched.enqueue(txn(0, 9, "b"));
+    sched.enqueue(txn(1, 0, "c"));
+    EXPECT_EQ(sched.pendingCount(), 3u);
+    EXPECT_EQ(sched.pickNext()->label, "a");
+    EXPECT_EQ(sched.pickNext()->label, "b");
+    EXPECT_EQ(sched.pickNext()->label, "c");
+    EXPECT_FALSE(sched.pickNext().has_value());
+}
+
+TEST(TxnSched, RoundRobinAlternatesChips)
+{
+    RoundRobinTxnScheduler sched;
+    for (int i = 0; i < 3; ++i) {
+        sched.enqueue(txn(0, 0, "c0"));
+        sched.enqueue(txn(5, 0, "c5"));
+    }
+    // Picks must alternate between the two chips.
+    std::vector<std::uint32_t> order;
+    while (auto t = sched.pickNext())
+        order.push_back(t->chip);
+    ASSERT_EQ(order.size(), 6u);
+    for (std::size_t i = 1; i < order.size(); ++i)
+        EXPECT_NE(order[i], order[i - 1]);
+}
+
+TEST(TxnSched, RoundRobinFairnessBound)
+{
+    // Property (DESIGN.md invariant): with k chips each holding work,
+    // no chip waits more than k-1 picks between its turns.
+    RoundRobinTxnScheduler sched;
+    const std::uint32_t chips = 7;
+    for (int round = 0; round < 5; ++round)
+        for (std::uint32_t c = 0; c < chips; ++c)
+            sched.enqueue(txn(c));
+
+    std::map<std::uint32_t, int> last_seen;
+    int pick = 0;
+    while (auto t = sched.pickNext()) {
+        if (last_seen.count(t->chip)) {
+            EXPECT_LE(pick - last_seen[t->chip], static_cast<int>(chips));
+        }
+        last_seen[t->chip] = pick;
+        ++pick;
+    }
+    EXPECT_EQ(pick, 35);
+}
+
+TEST(TxnSched, PriorityPicksHighestFirstFifoWithin)
+{
+    PriorityTxnScheduler sched;
+    sched.enqueue(txn(0, 1, "low-a"));
+    sched.enqueue(txn(0, 5, "high-a"));
+    sched.enqueue(txn(0, 1, "low-b"));
+    sched.enqueue(txn(0, 5, "high-b"));
+    EXPECT_EQ(sched.pickNext()->label, "high-a");
+    EXPECT_EQ(sched.pickNext()->label, "high-b");
+    EXPECT_EQ(sched.pickNext()->label, "low-a");
+    EXPECT_EQ(sched.pickNext()->label, "low-b");
+}
+
+TEST(TaskSched, FifoSkipsBusyChips)
+{
+    FifoTaskScheduler sched;
+    sched.submit(req(0));
+    sched.submit(req(1));
+    auto only_chip1 = [](std::uint32_t chip) { return chip == 1; };
+    auto r = sched.admitNext(only_chip1);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->chip, 1u);
+    EXPECT_EQ(sched.pendingCount(), 1u);
+    // Nothing admissible now.
+    EXPECT_FALSE(sched.admitNext(only_chip1).has_value());
+}
+
+TEST(TaskSched, FairRotatesAcrossChips)
+{
+    FairTaskScheduler sched;
+    for (int i = 0; i < 2; ++i)
+        for (std::uint32_t c : {0u, 1u, 2u})
+            sched.submit(req(c));
+    auto all_free = [](std::uint32_t) { return true; };
+    std::vector<std::uint32_t> order;
+    while (auto r = sched.admitNext(all_free))
+        order.push_back(r->chip);
+    ASSERT_EQ(order.size(), 6u);
+    // First three admissions cover all three chips.
+    std::set<std::uint32_t> first(order.begin(), order.begin() + 3);
+    EXPECT_EQ(first.size(), 3u);
+}
+
+TEST(TaskSched, PriorityAdmitsUrgentFirst)
+{
+    PriorityTaskScheduler sched;
+    sched.submit(req(0, 0));
+    sched.submit(req(1, 10));
+    auto all_free = [](std::uint32_t) { return true; };
+    EXPECT_EQ(sched.admitNext(all_free)->chip, 1u);
+    EXPECT_EQ(sched.admitNext(all_free)->chip, 0u);
+}
+
+TEST(TaskSched, PriorityFallsBackToAdmissibleLowerPriority)
+{
+    PriorityTaskScheduler sched;
+    sched.submit(req(0, 10)); // urgent but chip 0 busy
+    sched.submit(req(1, 1));
+    auto only_chip1 = [](std::uint32_t chip) { return chip == 1; };
+    EXPECT_EQ(sched.admitNext(only_chip1)->chip, 1u);
+}
+
+TEST(SchedFactories, KnownAndUnknownPolicies)
+{
+    EXPECT_EQ(std::string(makeTxnScheduler("fifo")->policyName()), "fifo");
+    EXPECT_EQ(std::string(makeTxnScheduler("round-robin")->policyName()),
+              "round-robin");
+    EXPECT_EQ(std::string(makeTxnScheduler("priority")->policyName()),
+              "priority");
+    EXPECT_THROW(makeTxnScheduler("nope"), SimFatal);
+
+    EXPECT_EQ(std::string(makeTaskScheduler("fifo")->policyName()),
+              "fifo");
+    EXPECT_EQ(std::string(makeTaskScheduler("fair")->policyName()),
+              "fair");
+    EXPECT_EQ(std::string(makeTaskScheduler("priority")->policyName()),
+              "priority");
+    EXPECT_THROW(makeTaskScheduler("nope"), SimFatal);
+}
+
+} // namespace
