@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_advanced_ops.dir/ablation_advanced_ops.cc.o"
+  "CMakeFiles/ablation_advanced_ops.dir/ablation_advanced_ops.cc.o.d"
+  "ablation_advanced_ops"
+  "ablation_advanced_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_advanced_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_advanced_ops.
+# This may be replaced when dependencies are built.

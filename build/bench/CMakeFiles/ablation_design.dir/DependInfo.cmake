@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_design.cc" "bench/CMakeFiles/ablation_design.dir/ablation_design.cc.o" "gcc" "bench/CMakeFiles/ablation_design.dir/ablation_design.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/babol_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/babol_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/babol_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/babol_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/chan/CMakeFiles/babol_chan.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/babol_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/babol_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/babol_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/babol_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

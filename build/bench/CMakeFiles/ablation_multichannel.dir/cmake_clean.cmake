@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multichannel.dir/ablation_multichannel.cc.o"
+  "CMakeFiles/ablation_multichannel.dir/ablation_multichannel.cc.o.d"
+  "ablation_multichannel"
+  "ablation_multichannel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multichannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_suspend.dir/ablation_suspend.cc.o"
+  "CMakeFiles/ablation_suspend.dir/ablation_suspend.cc.o.d"
+  "ablation_suspend"
+  "ablation_suspend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_suspend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_flash_params.dir/table1_flash_params.cc.o"
+  "CMakeFiles/table1_flash_params.dir/table1_flash_params.cc.o.d"
+  "table1_flash_params"
+  "table1_flash_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_flash_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_operation.dir/custom_operation.cpp.o"
+  "CMakeFiles/custom_operation.dir/custom_operation.cpp.o.d"
+  "custom_operation"
+  "custom_operation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_operation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

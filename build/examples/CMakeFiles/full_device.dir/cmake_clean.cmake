@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_device.dir/full_device.cpp.o"
+  "CMakeFiles/full_device.dir/full_device.cpp.o.d"
+  "full_device"
+  "full_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/new_package_bringup.dir/new_package_bringup.cpp.o"
+  "CMakeFiles/new_package_bringup.dir/new_package_bringup.cpp.o.d"
+  "new_package_bringup"
+  "new_package_bringup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/new_package_bringup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rail_gang_read.dir/rail_gang_read.cpp.o"
+  "CMakeFiles/rail_gang_read.dir/rail_gang_read.cpp.o.d"
+  "rail_gang_read"
+  "rail_gang_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rail_gang_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

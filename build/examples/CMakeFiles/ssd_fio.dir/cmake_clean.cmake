@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_fio.dir/ssd_fio.cpp.o"
+  "CMakeFiles/ssd_fio.dir/ssd_fio.cpp.o.d"
+  "ssd_fio"
+  "ssd_fio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_fio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chan/bus.cc" "src/chan/CMakeFiles/babol_chan.dir/bus.cc.o" "gcc" "src/chan/CMakeFiles/babol_chan.dir/bus.cc.o.d"
+  "/root/repo/src/chan/trace.cc" "src/chan/CMakeFiles/babol_chan.dir/trace.cc.o" "gcc" "src/chan/CMakeFiles/babol_chan.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nand/CMakeFiles/babol_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/babol_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/babol_chan.dir/bus.cc.o"
+  "CMakeFiles/babol_chan.dir/bus.cc.o.d"
+  "CMakeFiles/babol_chan.dir/trace.cc.o"
+  "CMakeFiles/babol_chan.dir/trace.cc.o.d"
+  "libbabol_chan.a"
+  "libbabol_chan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/babol_chan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/area/area_model.cc" "src/core/CMakeFiles/babol_core.dir/area/area_model.cc.o" "gcc" "src/core/CMakeFiles/babol_core.dir/area/area_model.cc.o.d"
+  "/root/repo/src/core/calib/calibration.cc" "src/core/CMakeFiles/babol_core.dir/calib/calibration.cc.o" "gcc" "src/core/CMakeFiles/babol_core.dir/calib/calibration.cc.o.d"
+  "/root/repo/src/core/channel_system.cc" "src/core/CMakeFiles/babol_core.dir/channel_system.cc.o" "gcc" "src/core/CMakeFiles/babol_core.dir/channel_system.cc.o.d"
+  "/root/repo/src/core/coro/coro_controller.cc" "src/core/CMakeFiles/babol_core.dir/coro/coro_controller.cc.o" "gcc" "src/core/CMakeFiles/babol_core.dir/coro/coro_controller.cc.o.d"
+  "/root/repo/src/core/coro/ops.cc" "src/core/CMakeFiles/babol_core.dir/coro/ops.cc.o" "gcc" "src/core/CMakeFiles/babol_core.dir/coro/ops.cc.o.d"
+  "/root/repo/src/core/ecc.cc" "src/core/CMakeFiles/babol_core.dir/ecc.cc.o" "gcc" "src/core/CMakeFiles/babol_core.dir/ecc.cc.o.d"
+  "/root/repo/src/core/exec_unit.cc" "src/core/CMakeFiles/babol_core.dir/exec_unit.cc.o" "gcc" "src/core/CMakeFiles/babol_core.dir/exec_unit.cc.o.d"
+  "/root/repo/src/core/hw/hw_controller.cc" "src/core/CMakeFiles/babol_core.dir/hw/hw_controller.cc.o" "gcc" "src/core/CMakeFiles/babol_core.dir/hw/hw_controller.cc.o.d"
+  "/root/repo/src/core/hw/hw_ops.cc" "src/core/CMakeFiles/babol_core.dir/hw/hw_ops.cc.o" "gcc" "src/core/CMakeFiles/babol_core.dir/hw/hw_ops.cc.o.d"
+  "/root/repo/src/core/rtos_env/rtos_controller.cc" "src/core/CMakeFiles/babol_core.dir/rtos_env/rtos_controller.cc.o" "gcc" "src/core/CMakeFiles/babol_core.dir/rtos_env/rtos_controller.cc.o.d"
+  "/root/repo/src/core/rtos_env/rtos_ops.cc" "src/core/CMakeFiles/babol_core.dir/rtos_env/rtos_ops.cc.o" "gcc" "src/core/CMakeFiles/babol_core.dir/rtos_env/rtos_ops.cc.o.d"
+  "/root/repo/src/core/sched.cc" "src/core/CMakeFiles/babol_core.dir/sched.cc.o" "gcc" "src/core/CMakeFiles/babol_core.dir/sched.cc.o.d"
+  "/root/repo/src/core/soft_runtime.cc" "src/core/CMakeFiles/babol_core.dir/soft_runtime.cc.o" "gcc" "src/core/CMakeFiles/babol_core.dir/soft_runtime.cc.o.d"
+  "/root/repo/src/core/ufsm.cc" "src/core/CMakeFiles/babol_core.dir/ufsm.cc.o" "gcc" "src/core/CMakeFiles/babol_core.dir/ufsm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chan/CMakeFiles/babol_chan.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/babol_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/babol_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/babol_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/babol_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

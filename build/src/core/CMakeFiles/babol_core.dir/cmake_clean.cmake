@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/babol_core.dir/area/area_model.cc.o"
+  "CMakeFiles/babol_core.dir/area/area_model.cc.o.d"
+  "CMakeFiles/babol_core.dir/calib/calibration.cc.o"
+  "CMakeFiles/babol_core.dir/calib/calibration.cc.o.d"
+  "CMakeFiles/babol_core.dir/channel_system.cc.o"
+  "CMakeFiles/babol_core.dir/channel_system.cc.o.d"
+  "CMakeFiles/babol_core.dir/coro/coro_controller.cc.o"
+  "CMakeFiles/babol_core.dir/coro/coro_controller.cc.o.d"
+  "CMakeFiles/babol_core.dir/coro/ops.cc.o"
+  "CMakeFiles/babol_core.dir/coro/ops.cc.o.d"
+  "CMakeFiles/babol_core.dir/ecc.cc.o"
+  "CMakeFiles/babol_core.dir/ecc.cc.o.d"
+  "CMakeFiles/babol_core.dir/exec_unit.cc.o"
+  "CMakeFiles/babol_core.dir/exec_unit.cc.o.d"
+  "CMakeFiles/babol_core.dir/hw/hw_controller.cc.o"
+  "CMakeFiles/babol_core.dir/hw/hw_controller.cc.o.d"
+  "CMakeFiles/babol_core.dir/hw/hw_ops.cc.o"
+  "CMakeFiles/babol_core.dir/hw/hw_ops.cc.o.d"
+  "CMakeFiles/babol_core.dir/rtos_env/rtos_controller.cc.o"
+  "CMakeFiles/babol_core.dir/rtos_env/rtos_controller.cc.o.d"
+  "CMakeFiles/babol_core.dir/rtos_env/rtos_ops.cc.o"
+  "CMakeFiles/babol_core.dir/rtos_env/rtos_ops.cc.o.d"
+  "CMakeFiles/babol_core.dir/sched.cc.o"
+  "CMakeFiles/babol_core.dir/sched.cc.o.d"
+  "CMakeFiles/babol_core.dir/soft_runtime.cc.o"
+  "CMakeFiles/babol_core.dir/soft_runtime.cc.o.d"
+  "CMakeFiles/babol_core.dir/ufsm.cc.o"
+  "CMakeFiles/babol_core.dir/ufsm.cc.o.d"
+  "libbabol_core.a"
+  "libbabol_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/babol_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

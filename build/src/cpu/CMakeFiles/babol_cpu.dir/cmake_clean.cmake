@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/babol_cpu.dir/rtos.cc.o"
+  "CMakeFiles/babol_cpu.dir/rtos.cc.o.d"
+  "libbabol_cpu.a"
+  "libbabol_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/babol_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

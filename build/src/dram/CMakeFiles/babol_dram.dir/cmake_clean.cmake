@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/babol_dram.dir/dram.cc.o"
+  "CMakeFiles/babol_dram.dir/dram.cc.o.d"
+  "libbabol_dram.a"
+  "libbabol_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/babol_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbabol_dram.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/babol_ftl.dir/ftl.cc.o"
+  "CMakeFiles/babol_ftl.dir/ftl.cc.o.d"
+  "libbabol_ftl.a"
+  "libbabol_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/babol_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

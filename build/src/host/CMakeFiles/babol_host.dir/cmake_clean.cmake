@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/babol_host.dir/fio.cc.o"
+  "CMakeFiles/babol_host.dir/fio.cc.o.d"
+  "CMakeFiles/babol_host.dir/hic.cc.o"
+  "CMakeFiles/babol_host.dir/hic.cc.o.d"
+  "libbabol_host.a"
+  "libbabol_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/babol_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

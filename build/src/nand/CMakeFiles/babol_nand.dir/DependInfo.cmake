@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nand/flash_array.cc" "src/nand/CMakeFiles/babol_nand.dir/flash_array.cc.o" "gcc" "src/nand/CMakeFiles/babol_nand.dir/flash_array.cc.o.d"
+  "/root/repo/src/nand/geometry.cc" "src/nand/CMakeFiles/babol_nand.dir/geometry.cc.o" "gcc" "src/nand/CMakeFiles/babol_nand.dir/geometry.cc.o.d"
+  "/root/repo/src/nand/lun.cc" "src/nand/CMakeFiles/babol_nand.dir/lun.cc.o" "gcc" "src/nand/CMakeFiles/babol_nand.dir/lun.cc.o.d"
+  "/root/repo/src/nand/onfi.cc" "src/nand/CMakeFiles/babol_nand.dir/onfi.cc.o" "gcc" "src/nand/CMakeFiles/babol_nand.dir/onfi.cc.o.d"
+  "/root/repo/src/nand/package.cc" "src/nand/CMakeFiles/babol_nand.dir/package.cc.o" "gcc" "src/nand/CMakeFiles/babol_nand.dir/package.cc.o.d"
+  "/root/repo/src/nand/param_page.cc" "src/nand/CMakeFiles/babol_nand.dir/param_page.cc.o" "gcc" "src/nand/CMakeFiles/babol_nand.dir/param_page.cc.o.d"
+  "/root/repo/src/nand/timing.cc" "src/nand/CMakeFiles/babol_nand.dir/timing.cc.o" "gcc" "src/nand/CMakeFiles/babol_nand.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/babol_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/babol_nand.dir/flash_array.cc.o"
+  "CMakeFiles/babol_nand.dir/flash_array.cc.o.d"
+  "CMakeFiles/babol_nand.dir/geometry.cc.o"
+  "CMakeFiles/babol_nand.dir/geometry.cc.o.d"
+  "CMakeFiles/babol_nand.dir/lun.cc.o"
+  "CMakeFiles/babol_nand.dir/lun.cc.o.d"
+  "CMakeFiles/babol_nand.dir/onfi.cc.o"
+  "CMakeFiles/babol_nand.dir/onfi.cc.o.d"
+  "CMakeFiles/babol_nand.dir/package.cc.o"
+  "CMakeFiles/babol_nand.dir/package.cc.o.d"
+  "CMakeFiles/babol_nand.dir/param_page.cc.o"
+  "CMakeFiles/babol_nand.dir/param_page.cc.o.d"
+  "CMakeFiles/babol_nand.dir/timing.cc.o"
+  "CMakeFiles/babol_nand.dir/timing.cc.o.d"
+  "libbabol_nand.a"
+  "libbabol_nand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/babol_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/babol_sim.dir/event_queue.cc.o"
+  "CMakeFiles/babol_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/babol_sim.dir/logging.cc.o"
+  "CMakeFiles/babol_sim.dir/logging.cc.o.d"
+  "CMakeFiles/babol_sim.dir/stats.cc.o"
+  "CMakeFiles/babol_sim.dir/stats.cc.o.d"
+  "CMakeFiles/babol_sim.dir/table.cc.o"
+  "CMakeFiles/babol_sim.dir/table.cc.o.d"
+  "libbabol_sim.a"
+  "libbabol_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/babol_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

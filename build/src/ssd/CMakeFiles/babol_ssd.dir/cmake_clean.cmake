@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/babol_ssd.dir/ssd.cc.o"
+  "CMakeFiles/babol_ssd.dir/ssd.cc.o.d"
+  "libbabol_ssd.a"
+  "libbabol_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/babol_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_area_calib.cc" "tests/CMakeFiles/babol_tests.dir/test_area_calib.cc.o" "gcc" "tests/CMakeFiles/babol_tests.dir/test_area_calib.cc.o.d"
+  "/root/repo/tests/test_bus.cc" "tests/CMakeFiles/babol_tests.dir/test_bus.cc.o" "gcc" "tests/CMakeFiles/babol_tests.dir/test_bus.cc.o.d"
+  "/root/repo/tests/test_controllers.cc" "tests/CMakeFiles/babol_tests.dir/test_controllers.cc.o" "gcc" "tests/CMakeFiles/babol_tests.dir/test_controllers.cc.o.d"
+  "/root/repo/tests/test_cpu_rtos.cc" "tests/CMakeFiles/babol_tests.dir/test_cpu_rtos.cc.o" "gcc" "tests/CMakeFiles/babol_tests.dir/test_cpu_rtos.cc.o.d"
+  "/root/repo/tests/test_ecc.cc" "tests/CMakeFiles/babol_tests.dir/test_ecc.cc.o" "gcc" "tests/CMakeFiles/babol_tests.dir/test_ecc.cc.o.d"
+  "/root/repo/tests/test_exec_runtime.cc" "tests/CMakeFiles/babol_tests.dir/test_exec_runtime.cc.o" "gcc" "tests/CMakeFiles/babol_tests.dir/test_exec_runtime.cc.o.d"
+  "/root/repo/tests/test_ftl.cc" "tests/CMakeFiles/babol_tests.dir/test_ftl.cc.o" "gcc" "tests/CMakeFiles/babol_tests.dir/test_ftl.cc.o.d"
+  "/root/repo/tests/test_lun_protocol.cc" "tests/CMakeFiles/babol_tests.dir/test_lun_protocol.cc.o" "gcc" "tests/CMakeFiles/babol_tests.dir/test_lun_protocol.cc.o.d"
+  "/root/repo/tests/test_multilun.cc" "tests/CMakeFiles/babol_tests.dir/test_multilun.cc.o" "gcc" "tests/CMakeFiles/babol_tests.dir/test_multilun.cc.o.d"
+  "/root/repo/tests/test_nand.cc" "tests/CMakeFiles/babol_tests.dir/test_nand.cc.o" "gcc" "tests/CMakeFiles/babol_tests.dir/test_nand.cc.o.d"
+  "/root/repo/tests/test_ops.cc" "tests/CMakeFiles/babol_tests.dir/test_ops.cc.o" "gcc" "tests/CMakeFiles/babol_tests.dir/test_ops.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/babol_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/babol_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_sched.cc" "tests/CMakeFiles/babol_tests.dir/test_sched.cc.o" "gcc" "tests/CMakeFiles/babol_tests.dir/test_sched.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/babol_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/babol_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/babol_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/babol_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_ssd_hic.cc" "tests/CMakeFiles/babol_tests.dir/test_ssd_hic.cc.o" "gcc" "tests/CMakeFiles/babol_tests.dir/test_ssd_hic.cc.o.d"
+  "/root/repo/tests/test_ufsm.cc" "tests/CMakeFiles/babol_tests.dir/test_ufsm.cc.o" "gcc" "tests/CMakeFiles/babol_tests.dir/test_ufsm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/babol_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/babol_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/babol_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/babol_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/chan/CMakeFiles/babol_chan.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/babol_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/babol_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/babol_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/babol_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
