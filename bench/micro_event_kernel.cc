@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Event-kernel microbenchmark: events/sec and per-event heap allocations.
+ *
+ * Drives a workload shaped like the simulator's steady state — dozens of
+ * self-rescheduling actors with ONFI-scale delays, periodic armed-then-
+ * cancelled timeouts (suspend/resume style), and occasional far-future
+ * events (tPROG/tBERS scale) — through two kernels:
+ *
+ *   - "seed": a faithful replica of the original kernel (one
+ *     shared_ptr<Record> + type-erased std::function per event, single
+ *     std::priority_queue), kept here so the speedup is measured against
+ *     a fixed baseline rather than a moving one;
+ *   - "kernel": the pooled / inline-callback / timing-wheel EventQueue.
+ *
+ * Heap traffic is counted by overriding global operator new, so the
+ * zero-allocation claim covers everything, not just the pool. Results
+ * are written as JSON to BENCH_event_kernel.json at the repo root (or
+ * --out PATH) so the perf trajectory is tracked across PRs.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <new>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+// ---------------------------------------------------------------------
+// Global allocation counter (single-threaded bench; no atomics needed).
+// ---------------------------------------------------------------------
+
+static std::uint64_t g_allocCount = 0;
+
+void *
+operator new(std::size_t n)
+{
+    ++g_allocCount;
+    if (void *p = std::malloc(n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return operator new(n);
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using babol::Tick;
+
+// ---------------------------------------------------------------------
+// The seed kernel, verbatim in structure: shared_ptr records, type-
+// erased callbacks, one binary heap.
+// ---------------------------------------------------------------------
+
+class SeedHandle
+{
+  public:
+    SeedHandle() = default;
+
+    struct Record
+    {
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        std::function<void()> fn;
+        bool cancelled = false;
+        bool fired = false;
+    };
+
+    bool pending() const { return rec_ && !rec_->cancelled && !rec_->fired; }
+
+    void
+    cancel()
+    {
+        if (rec_)
+            rec_->cancelled = true;
+    }
+
+    explicit SeedHandle(std::shared_ptr<Record> rec) : rec_(std::move(rec))
+    {}
+
+  private:
+    std::shared_ptr<Record> rec_;
+};
+
+class SeedEventQueue
+{
+  public:
+    Tick now() const { return now_; }
+
+    SeedHandle
+    schedule(Tick when, std::function<void()> fn, const char * = "")
+    {
+        auto rec = std::make_shared<SeedHandle::Record>();
+        rec->when = when;
+        rec->seq = nextSeq_++;
+        rec->fn = std::move(fn);
+        heap_.push(rec);
+        return SeedHandle(rec);
+    }
+
+    SeedHandle
+    scheduleIn(Tick delay, std::function<void()> fn, const char *what = "")
+    {
+        return schedule(now_ + delay, std::move(fn), what);
+    }
+
+    bool
+    step()
+    {
+        while (!heap_.empty()) {
+            RecordPtr rec = heap_.top();
+            heap_.pop();
+            if (rec->cancelled)
+                continue;
+            now_ = rec->when;
+            rec->fired = true;
+            rec->fn();
+            return true;
+        }
+        return false;
+    }
+
+  private:
+    using RecordPtr = std::shared_ptr<SeedHandle::Record>;
+
+    struct Later
+    {
+        bool
+        operator()(const RecordPtr &a, const RecordPtr &b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            return a->seq > b->seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::priority_queue<RecordPtr, std::vector<RecordPtr>, Later> heap_;
+};
+
+// ---------------------------------------------------------------------
+// Workload
+// ---------------------------------------------------------------------
+
+template <typename Queue>
+struct Driver
+{
+    static constexpr int kActors = 64;
+    // ONFI-ish delays in picoseconds: command/address cycles through a
+    // data burst up to a short array wait.
+    static constexpr Tick kDelays[8] = {5000,   7500,   12500,  25000,
+                                        50000,  100000, 400000, 1000000};
+
+    using Handle = decltype(std::declval<Queue &>().scheduleIn(
+        Tick(0), [] {}, ""));
+
+    explicit Driver(Queue &eq) : eq_(eq), timeouts_(kActors) {}
+
+    void
+    start()
+    {
+        for (int i = 0; i < kActors; ++i)
+            eq_.scheduleIn(kDelays[i & 7], [this, i] { step(i); }, "actor");
+    }
+
+    void
+    step(int i)
+    {
+        ++fired_;
+        const std::uint64_t s = steps_++;
+        const Tick d = kDelays[(s + static_cast<std::uint64_t>(i)) & 7];
+        if ((s & 3) == 0) {
+            // Arm a long guard timer; the next arming cancels it, the
+            // way suspend/resume churns LUN busy events.
+            if (timeouts_[i].pending())
+                timeouts_[i].cancel();
+            timeouts_[i] = eq_.scheduleIn(d * 16, [this] { ++fired_; },
+                                          "timeout");
+        }
+        if ((s & 63) == 0) {
+            // tPROG/tBERS scale: far beyond any near-future horizon.
+            eq_.scheduleIn(babol::ticks::fromUs(600), [this] { ++fired_; },
+                           "far");
+        }
+        eq_.scheduleIn(d, [this, i] { step(i); }, "actor");
+    }
+
+    Queue &eq_;
+    std::vector<Handle> timeouts_;
+    std::uint64_t fired_ = 0;
+    std::uint64_t steps_ = 0;
+};
+
+struct Phase
+{
+    double eventsPerSec = 0;
+    double allocsPerEvent = 0;
+    std::uint64_t fired = 0;
+};
+
+template <typename Queue>
+Phase
+runKernel(Queue &eq, std::uint64_t warmup, std::uint64_t measured)
+{
+    Driver<Queue> driver(eq);
+    driver.start();
+    while (driver.fired_ < warmup)
+        eq.step();
+
+    const std::uint64_t fired0 = driver.fired_;
+    const std::uint64_t allocs0 = g_allocCount;
+    const auto t0 = std::chrono::steady_clock::now();
+    while (driver.fired_ < fired0 + measured)
+        eq.step();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    Phase p;
+    p.fired = driver.fired_ - fired0;
+    const double sec = std::chrono::duration<double>(t1 - t0).count();
+    p.eventsPerSec = sec > 0 ? static_cast<double>(p.fired) / sec : 0;
+    p.allocsPerEvent = static_cast<double>(g_allocCount - allocs0) /
+                       static_cast<double>(p.fired);
+    return p;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t measured = 2000000;
+    std::string out = std::string(BABOL_SOURCE_DIR) +
+                      "/BENCH_event_kernel.json";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--quick") {
+            measured = 200000;
+        } else if (arg == "--out" && i + 1 < argc) {
+            out = argv[++i];
+        } else {
+            std::cerr << "usage: micro_event_kernel [--quick] [--out FILE]\n";
+            return 2;
+        }
+    }
+    const std::uint64_t warmup = measured / 10;
+
+    SeedEventQueue seedQ;
+    Phase seed = runKernel(seedQ, warmup, measured);
+
+    babol::EventQueue eq;
+    Phase kernel = runKernel(eq, warmup, measured);
+    const auto stats = eq.poolStats();
+
+    const double speedup =
+        seed.eventsPerSec > 0 ? kernel.eventsPerSec / seed.eventsPerSec : 0;
+    const double inlineRate =
+        stats.inlineCallbacks + stats.outlineCallbacks > 0
+            ? static_cast<double>(stats.inlineCallbacks) /
+                  static_cast<double>(stats.inlineCallbacks +
+                                      stats.outlineCallbacks)
+            : 0;
+
+    char buf[2048];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "  \"bench\": \"micro_event_kernel\",\n"
+        "  \"measured_events\": %llu,\n"
+        "  \"seed_events_per_sec\": %.0f,\n"
+        "  \"seed_allocs_per_event\": %.4f,\n"
+        "  \"kernel_events_per_sec\": %.0f,\n"
+        "  \"kernel_allocs_per_event\": %.4f,\n"
+        "  \"speedup\": %.2f,\n"
+        "  \"inline_callback_hit_rate\": %.4f,\n"
+        "  \"pool_capacity\": %llu,\n"
+        "  \"pool_high_water\": %llu,\n"
+        "  \"wheel_inserts\": %llu,\n"
+        "  \"heap_inserts\": %llu,\n"
+        "  \"ready_inserts\": %llu,\n"
+        "  \"compactions\": %llu\n"
+        "}\n",
+        static_cast<unsigned long long>(measured), seed.eventsPerSec,
+        seed.allocsPerEvent, kernel.eventsPerSec, kernel.allocsPerEvent,
+        speedup, inlineRate,
+        static_cast<unsigned long long>(stats.poolCapacity),
+        static_cast<unsigned long long>(stats.poolHighWater),
+        static_cast<unsigned long long>(stats.wheelInserts),
+        static_cast<unsigned long long>(stats.heapInserts),
+        static_cast<unsigned long long>(stats.readyInserts),
+        static_cast<unsigned long long>(stats.compactions));
+
+    std::cout << buf;
+    std::ofstream ofs(out);
+    ofs << buf;
+    if (!ofs) {
+        std::cerr << "\nerror: cannot write " << out << "\n";
+        return 2;
+    }
+    std::cout << "\nwritten to " << out << "\n";
+
+    if (kernel.allocsPerEvent > 0.001) {
+        std::cerr << "WARNING: kernel steady state is not allocation-free\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build and run the test suite, plain and sanitized.
+#
+# The sanitized pass (ASan + UBSan via -DBABOL_SANITIZE=ON) exists
+# chiefly for the event kernel's pool / free-list / intrusive-list code,
+# where a stale index or double release would otherwise corrupt silently.
+#
+# Usage: scripts/ci.sh [--plain-only|--asan-only]
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+MODE="${1:-all}"
+
+run_suite() {
+    local dir="$1"; shift
+    cmake -B "$dir" -S "$ROOT" "$@"
+    cmake --build "$dir" -j"$JOBS"
+    ctest --test-dir "$dir" --output-on-failure -j"$JOBS"
+}
+
+if [[ "$MODE" != "--asan-only" ]]; then
+    echo "=== tier-1: plain ==="
+    run_suite "$ROOT/build"
+fi
+
+if [[ "$MODE" != "--plain-only" ]]; then
+    echo "=== tier-1: ASan + UBSan ==="
+    run_suite "$ROOT/build-asan" -DBABOL_SANITIZE=ON
+fi
+
+echo "=== tier-1: OK ==="

@@ -109,14 +109,18 @@ ChannelBus::issue(Segment seg, std::function<void(SegmentResult)> done)
     Tick offset = phy_.ceSetup();
     auto result = std::make_shared<SegmentResult>();
 
+    // Event closures capture only the CE mask (not the whole Segment) so
+    // every per-cycle callback stays on the kernel's inline path.
+    const std::uint32_t mask = seg.ceMask;
+
     for (const SegmentItem &item : seg.items) {
         offset += item.preDelay;
         switch (item.type) {
           case nand::CycleType::CmdLatch:
             for (std::uint8_t cmd : item.out) {
                 offset += phy_.commandCycle();
-                eq_.schedule(start + offset, [this, seg, cmd] {
-                    for (nand::Package *pkg : selected(seg.ceMask))
+                eq_.schedule(start + offset, [this, mask, cmd] {
+                    for (nand::Package *pkg : selected(mask))
                         pkg->commandLatch(cmd);
                 }, "cmd latch");
             }
@@ -124,8 +128,8 @@ ChannelBus::issue(Segment seg, std::function<void(SegmentResult)> done)
           case nand::CycleType::AddrLatch:
             for (std::uint8_t byte : item.out) {
                 offset += phy_.addressCycle();
-                eq_.schedule(start + offset, [this, seg, byte] {
-                    for (nand::Package *pkg : selected(seg.ceMask))
+                eq_.schedule(start + offset, [this, mask, byte] {
+                    for (nand::Package *pkg : selected(mask))
                         pkg->addressLatch(byte);
                 }, "addr latch");
             }
@@ -137,12 +141,12 @@ ChannelBus::issue(Segment seg, std::function<void(SegmentResult)> done)
             dataBytesIn_ += item.out.size();
             auto bytes = std::make_shared<std::vector<std::uint8_t>>(
                 item.out);
-            eq_.schedule(burst_start, [this, seg] {
-                checkModeMatch(seg.ceMask);
+            eq_.schedule(burst_start, [this, mask] {
+                checkModeMatch(mask);
             }, "data-in mode check");
             eq_.schedule(burst_start + dur,
-                         [this, seg, bytes, burst_start] {
-                for (nand::Package *pkg : selected(seg.ceMask))
+                         [this, mask, bytes, burst_start] {
+                for (nand::Package *pkg : selected(mask))
                     pkg->dataIn(*bytes, burst_start);
             }, "data-in burst");
             break;
@@ -153,14 +157,14 @@ ChannelBus::issue(Segment seg, std::function<void(SegmentResult)> done)
             offset += dur;
             dataBytesOut_ += item.inCount;
             const std::uint32_t count = item.inCount;
-            eq_.schedule(burst_start, [this, seg, result, count,
+            eq_.schedule(burst_start, [this, mask, result, count,
                                        burst_start] {
-                checkModeMatch(seg.ceMask);
-                std::vector<nand::Package *> pkgs = selected(seg.ceMask);
+                checkModeMatch(mask);
+                std::vector<nand::Package *> pkgs = selected(mask);
                 if (pkgs.size() != 1) {
                     panic("%s: data-out with %zu chips enabled "
-                          "(segment '%s')",
-                          name().c_str(), pkgs.size(), seg.label.c_str());
+                          "(ceMask 0x%x)",
+                          name().c_str(), pkgs.size(), mask);
                 }
                 std::size_t base = result->dataOut.size();
                 result->dataOut.resize(base + count);
@@ -171,7 +175,7 @@ ChannelBus::issue(Segment seg, std::function<void(SegmentResult)> done)
                 // Mis-calibrated sampling phase corrupts the capture.
                 std::uint32_t pkg_idx = 0;
                 for (std::uint32_t i = 0; i < packages_.size(); ++i) {
-                    if (seg.ceMask & (1u << i))
+                    if (mask & (1u << i))
                         pkg_idx = i;
                 }
                 if (!phaseOk(pkg_idx)) {

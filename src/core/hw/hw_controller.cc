@@ -126,9 +126,11 @@ void
 HwController::fsmDone(std::uint32_t chip, OpResult result)
 {
     babol_assert(active_[chip] != nullptr, "completion with no active op");
-    FlashRequest req = active_[chip]->request();
-    // Defer teardown out of the FSM's own call stack.
-    eq_.scheduleIn(0, [this, chip, req = std::move(req), result] {
+    // Defer teardown out of the FSM's own call stack. The FSM stays
+    // alive until the deferred event runs, so the request is read there
+    // instead of being copied into the closure.
+    eq_.scheduleIn(0, [this, chip, result] {
+        FlashRequest req = active_[chip]->request();
         active_[chip].reset();
         finishOp(req, result);
         tryStart(chip);

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A small-buffer-optimized callable slot for pooled event records.
+ *
+ * The event kernel stores one callback per record. Almost every lambda
+ * scheduled in the simulator captures a couple of pointers and a few
+ * scalars, so the common case fits in a fixed inline buffer and never
+ * touches the heap; oversized captures fall back to a single allocation.
+ * Records live at stable addresses inside the pool and are recycled in
+ * place, so the slot deliberately supports neither copy nor move — only
+ * emplace / invoke / reset.
+ */
+
+#ifndef BABOL_SIM_INLINE_CALLBACK_HH
+#define BABOL_SIM_INLINE_CALLBACK_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace babol {
+
+class InlineCallback
+{
+  public:
+    /**
+     * Sized so the largest hot-path capture in the tree — the bus
+     * segment-completion lambda (a shared_ptr plus a std::function) —
+     * still lands inline.
+     */
+    static constexpr std::size_t kInlineBytes = 48;
+
+    InlineCallback() = default;
+    InlineCallback(const InlineCallback &) = delete;
+    InlineCallback &operator=(const InlineCallback &) = delete;
+    ~InlineCallback() { reset(); }
+
+    /**
+     * Install @p fn into the slot. @return true when the callable was
+     * stored inline (no heap allocation).
+     */
+    template <typename F>
+    bool
+    emplace(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_invocable_r_v<void, Fn &>,
+                      "event callbacks take no arguments and return void");
+        reset();
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(storage_.buf))
+                Fn(std::forward<F>(fn));
+            invoke_ = [](void *p) { (*static_cast<Fn *>(p))(); };
+            destroy_ = [](void *p) { static_cast<Fn *>(p)->~Fn(); };
+            outlined_ = false;
+            return true;
+        } else {
+            storage_.ptr = new Fn(std::forward<F>(fn));
+            invoke_ = [](void *p) { (*static_cast<Fn *>(p))(); };
+            destroy_ = [](void *p) { delete static_cast<Fn *>(p); };
+            outlined_ = true;
+            return false;
+        }
+    }
+
+    /** Destroy the stored callable (no-op when empty). */
+    void
+    reset()
+    {
+        if (destroy_)
+            destroy_(target());
+        invoke_ = nullptr;
+        destroy_ = nullptr;
+        outlined_ = false;
+    }
+
+    bool engaged() const { return invoke_ != nullptr; }
+    bool outlined() const { return outlined_; }
+
+    void operator()() { invoke_(target()); }
+
+  private:
+    void *
+    target()
+    {
+        return outlined_ ? storage_.ptr : static_cast<void *>(storage_.buf);
+    }
+
+    union Storage
+    {
+        alignas(alignof(std::max_align_t)) unsigned char buf[kInlineBytes];
+        void *ptr;
+    };
+
+    Storage storage_{};
+    void (*invoke_)(void *) = nullptr;
+    void (*destroy_)(void *) = nullptr;
+    bool outlined_ = false;
+};
+
+} // namespace babol
+
+#endif // BABOL_SIM_INLINE_CALLBACK_HH

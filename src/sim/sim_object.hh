@@ -42,11 +42,13 @@ class SimObject
     Tick curTick() const { return eq_.now(); }
 
   protected:
-    /** Schedule a member callback @p delay ticks from now. */
+    /** Schedule a member callback @p delay ticks from now. Forwards the
+     *  callable so small captures stay on the kernel's inline path. */
+    template <typename F>
     EventHandle
-    scheduleIn(Tick delay, std::function<void()> fn, const char *what = "")
+    scheduleIn(Tick delay, F &&fn, const char *what = "")
     {
-        return eq_.scheduleIn(delay, std::move(fn), what);
+        return eq_.scheduleIn(delay, std::forward<F>(fn), what);
     }
 
     EventQueue &eq_;

@@ -130,6 +130,201 @@ TEST(EventQueue, CountsScheduledAndFired)
     EXPECT_EQ(eq.firedCount(), 10u);
 }
 
+TEST(EventQueue, PendingCountIsExactUnderCancel)
+{
+    EventQueue eq;
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 100; ++i)
+        handles.push_back(eq.schedule(100 + i, [] {}));
+    EXPECT_EQ(eq.pendingCount(), 100u);
+    EXPECT_FALSE(eq.empty());
+    for (int i = 0; i < 100; i += 2)
+        handles[i].cancel();
+    EXPECT_EQ(eq.pendingCount(), 50u);
+    eq.run();
+    EXPECT_EQ(eq.pendingCount(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.firedCount(), 50u);
+}
+
+TEST(EventQueue, CompactionSweepsCancelledRecords)
+{
+    EventQueue eq;
+    std::vector<EventHandle> handles;
+    int fired = 0;
+    // Spread across wheel buckets and the far heap so the sweep visits
+    // every structure.
+    for (int i = 0; i < 300; ++i) {
+        Tick when = static_cast<Tick>(i) * 10000 +
+                    (i % 3 == 0 ? ticks::fromMs(100) : 0);
+        handles.push_back(eq.schedule(when, [&] { ++fired; }));
+    }
+    // Cancel enough that cancelled > live, which must trigger a sweep.
+    for (int i = 0; i < 200; ++i)
+        handles[i].cancel();
+    auto stats = eq.poolStats();
+    EXPECT_GE(stats.compactions, 1u);
+    // The sweep fires as soon as cancelled events outnumber live ones;
+    // cancels after the sweep stay below the re-trigger threshold.
+    EXPECT_LT(stats.cancelledPending, 64u);
+    EXPECT_EQ(eq.pendingCount(), 100u);
+    eq.run();
+    EXPECT_EQ(fired, 100);
+}
+
+TEST(EventQueue, StaleHandleCannotTouchRecycledRecord)
+{
+    EventQueue eq;
+    bool a = false, b = false;
+    EventHandle ha = eq.schedule(10, [&] { a = true; });
+    eq.run();
+    EXPECT_TRUE(a);
+    EXPECT_FALSE(ha.pending());
+    EXPECT_EQ(ha.when(), kMaxTick);
+
+    // The freed record is recycled for the next event; the stale handle
+    // must not be able to cancel it.
+    EventHandle hb = eq.schedule(20, [&] { b = true; });
+    ha.cancel();
+    EXPECT_TRUE(hb.pending());
+    eq.run();
+    EXPECT_TRUE(b);
+}
+
+TEST(EventQueue, StaleHandleAfterCancelAndRecycle)
+{
+    EventQueue eq;
+    bool b = false;
+    EventHandle ha = eq.schedule(10, [] {});
+    ha.cancel();
+    eq.schedule(5, [] {});
+    eq.run(); // drains both; the cancelled record is released
+
+    EventHandle hb = eq.schedule(30, [&] { b = true; });
+    ha.cancel(); // stale generation: no-op
+    EXPECT_FALSE(ha.pending());
+    EXPECT_TRUE(hb.pending());
+    eq.run();
+    EXPECT_TRUE(b);
+}
+
+TEST(EventQueue, CancelDuringOwnCallbackIsInert)
+{
+    EventQueue eq;
+    EventHandle h;
+    bool ran = false;
+    h = eq.schedule(10, [&] {
+        ran = true;
+        EXPECT_FALSE(h.pending()); // already firing
+        h.cancel();                // must be a no-op
+    });
+    eq.run();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(eq.firedCount(), 1u);
+}
+
+TEST(EventQueue, WheelAndFarHeapInterleaveInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    // Far beyond the wheel horizon (milliseconds) and near events mixed,
+    // scheduled out of order.
+    eq.schedule(ticks::fromMs(2), [&] { order.push_back(4); });
+    eq.schedule(500, [&] { order.push_back(1); });
+    eq.schedule(ticks::fromMs(1), [&] { order.push_back(3); });
+    eq.schedule(ticks::fromUs(40), [&] { order.push_back(2); });
+    // Same tick as the far event, scheduled later: FIFO puts it after.
+    eq.schedule(ticks::fromMs(2), [&] { order.push_back(5); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+
+    auto stats = eq.poolStats();
+    EXPECT_GT(stats.heapInserts, 0u);  // far events used the heap
+    EXPECT_GT(stats.wheelInserts, 0u); // near events used the wheel
+}
+
+TEST(EventQueue, DeterministicFiringOrderUnderChurn)
+{
+    // Two identically-seeded runs of a schedule/cancel/reschedule storm
+    // must produce tick-for-tick identical firing order.
+    auto runOnce = [] {
+        std::vector<std::pair<Tick, int>> log;
+        EventQueue eq;
+        Rng rng(1234);
+        std::vector<EventHandle> handles;
+        int next_id = 0;
+        for (int round = 0; round < 300; ++round) {
+            int batch = 1 + static_cast<int>(rng.uniform(0, 4));
+            for (int i = 0; i < batch; ++i) {
+                Tick delay = rng.uniform(0, 200000);
+                // A third of the events land far beyond the wheel
+                // horizon to churn the overflow heap too.
+                if (rng.chance(0.33))
+                    delay += ticks::fromUs(100);
+                int id = next_id++;
+                handles.push_back(eq.scheduleIn(
+                    delay, [&log, &eq, id] {
+                        log.emplace_back(eq.now(), id);
+                    }));
+            }
+            if (!handles.empty() && rng.chance(0.4)) {
+                std::size_t victim = rng.uniform(0, handles.size() - 1);
+                handles[victim].cancel();
+            }
+            eq.run(eq.now() + rng.uniform(0, 60000));
+        }
+        eq.run();
+        return log;
+    };
+    auto first = runOnce();
+    auto second = runOnce();
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
+TEST(EventQueue, InlineCallbacksAndPoolRecycling)
+{
+    EventQueue eq;
+    std::uint64_t counter = 0;
+    // Steady-state self-rescheduling: the pool must recycle one record
+    // per event and every capture must stay on the inline path.
+    std::function<void()> tick = [&] {
+        if (++counter < 10000)
+            eq.scheduleIn(1000, tick);
+    };
+    eq.scheduleIn(0, tick);
+    eq.run();
+    EXPECT_EQ(counter, 10000u);
+
+    auto stats = eq.poolStats();
+    EXPECT_EQ(stats.outlineCallbacks, 0u);
+    EXPECT_EQ(stats.inlineCallbacks, eq.scheduledCount());
+    EXPECT_EQ(stats.poolLive, 0u);
+    // One event in flight at a time: the pool never grows past one chunk.
+    EXPECT_LE(stats.poolHighWater, 2u);
+    EXPECT_LE(stats.poolCapacity, 256u);
+}
+
+TEST(EventQueue, FireHookSeesEveryFiring)
+{
+    EventQueue eq;
+    std::vector<std::pair<Tick, std::uint64_t>> firings;
+    eq.setFireHook([&](Tick t, std::uint64_t seq) {
+        firings.emplace_back(t, seq);
+    });
+    eq.schedule(200, [] {});
+    eq.schedule(100, [] {});
+    EventHandle h = eq.schedule(150, [] {});
+    h.cancel();
+    eq.run();
+    ASSERT_EQ(firings.size(), 2u);
+    EXPECT_EQ(firings[0].first, 100u);
+    EXPECT_EQ(firings[1].first, 200u);
+    // seq is the scheduling order: the 200-tick event was scheduled first.
+    EXPECT_EQ(firings[0].second, 1u);
+    EXPECT_EQ(firings[1].second, 0u);
+}
+
 TEST(Stats, CounterBasics)
 {
     Counter c("ops");
