@@ -11,7 +11,12 @@
  *     shared_ptr<Record> + type-erased std::function per event, single
  *     std::priority_queue), kept here so the speedup is measured against
  *     a fixed baseline rather than a moving one;
- *   - "kernel": the pooled / inline-callback / timing-wheel EventQueue.
+ *   - "kernel": the pooled / inline-callback / timing-wheel EventQueue;
+ *   - "kernel+obs(off)": the same kernel with the observability hot
+ *     path compiled in but recording disabled — per event it takes the
+ *     span begin/end guards an instrumented component takes, measuring
+ *     the tax tracing imposes when it is not in use (CI guards this
+ *     against the plain kernel).
  *
  * Heap traffic is counted by overriding global operator new, so the
  * zero-allocation claim covers everything, not just the pool. Results
@@ -31,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/hub.hh"
 #include "sim/event_queue.hh"
 
 // ---------------------------------------------------------------------
@@ -159,7 +165,7 @@ class SeedEventQueue
 // Workload
 // ---------------------------------------------------------------------
 
-template <typename Queue>
+template <typename Queue, bool WithObs = false>
 struct Driver
 {
     static constexpr int kActors = 64;
@@ -171,7 +177,14 @@ struct Driver
     using Handle = decltype(std::declval<Queue &>().scheduleIn(
         Tick(0), [] {}, ""));
 
-    explicit Driver(Queue &eq) : eq_(eq), timeouts_(kActors) {}
+    explicit Driver(Queue &eq) : eq_(eq), timeouts_(kActors)
+    {
+        if constexpr (WithObs) {
+            // Interned up front, as components do in their ctors.
+            track_ = babol::obs::interner().intern("bench");
+            label_ = babol::obs::interner().intern("op.step");
+        }
+    }
 
     void
     start()
@@ -184,6 +197,19 @@ struct Driver
     step(int i)
     {
         ++fired_;
+        if constexpr (WithObs) {
+            // The guards an instrumented component takes per operation:
+            // an enabled check + early return on the begin and end
+            // paths (recording stays off for this phase).
+            auto &tr = babol::obs::trace();
+            babol::obs::SpanId span = babol::obs::kNoSpan;
+            if (tr.enabled()) {
+                span = tr.beginSpan(track_, label_, eq_.now(),
+                                    babol::obs::currentCtx(),
+                                    static_cast<std::uint64_t>(i));
+            }
+            tr.endSpan(span, eq_.now());
+        }
         const std::uint64_t s = steps_++;
         const Tick d = kDelays[(s + static_cast<std::uint64_t>(i)) & 7];
         if ((s & 3) == 0) {
@@ -206,6 +232,8 @@ struct Driver
     std::vector<Handle> timeouts_;
     std::uint64_t fired_ = 0;
     std::uint64_t steps_ = 0;
+    std::uint32_t track_ = 0;
+    std::uint32_t label_ = 0;
 };
 
 struct Phase
@@ -215,11 +243,11 @@ struct Phase
     std::uint64_t fired = 0;
 };
 
-template <typename Queue>
+template <typename Queue, bool WithObs = false>
 Phase
 runKernel(Queue &eq, std::uint64_t warmup, std::uint64_t measured)
 {
-    Driver<Queue> driver(eq);
+    Driver<Queue, WithObs> driver(eq);
     driver.start();
     while (driver.fired_ < warmup)
         eq.step();
@@ -268,6 +296,17 @@ main(int argc, char **argv)
     Phase kernel = runKernel(eq, warmup, measured);
     const auto stats = eq.poolStats();
 
+    // Tracing compiled in, recording disabled.
+    babol::obs::hub().reset();
+    babol::EventQueue eqObs;
+    Phase obsOff = runKernel<babol::EventQueue, true>(eqObs, warmup,
+                                                      measured);
+    const double obsOverheadPct =
+        kernel.eventsPerSec > 0
+            ? (kernel.eventsPerSec - obsOff.eventsPerSec) /
+                  kernel.eventsPerSec * 100.0
+            : 0;
+
     const double speedup =
         seed.eventsPerSec > 0 ? kernel.eventsPerSec / seed.eventsPerSec : 0;
     const double inlineRate =
@@ -287,6 +326,9 @@ main(int argc, char **argv)
         "  \"seed_allocs_per_event\": %.4f,\n"
         "  \"kernel_events_per_sec\": %.0f,\n"
         "  \"kernel_allocs_per_event\": %.4f,\n"
+        "  \"kernel_obs_disabled_events_per_sec\": %.0f,\n"
+        "  \"kernel_obs_disabled_allocs_per_event\": %.4f,\n"
+        "  \"obs_disabled_overhead_pct\": %.2f,\n"
         "  \"speedup\": %.2f,\n"
         "  \"inline_callback_hit_rate\": %.4f,\n"
         "  \"pool_capacity\": %llu,\n"
@@ -298,6 +340,7 @@ main(int argc, char **argv)
         "}\n",
         static_cast<unsigned long long>(measured), seed.eventsPerSec,
         seed.allocsPerEvent, kernel.eventsPerSec, kernel.allocsPerEvent,
+        obsOff.eventsPerSec, obsOff.allocsPerEvent, obsOverheadPct,
         speedup, inlineRate,
         static_cast<unsigned long long>(stats.poolCapacity),
         static_cast<unsigned long long>(stats.poolHighWater),
@@ -315,7 +358,8 @@ main(int argc, char **argv)
     }
     std::cout << "\nwritten to " << out << "\n";
 
-    if (kernel.allocsPerEvent > 0.001) {
+    if (kernel.allocsPerEvent > 0.001 ||
+        obsOff.allocsPerEvent > 0.001) {
         std::cerr << "WARNING: kernel steady state is not allocation-free\n";
         return 1;
     }

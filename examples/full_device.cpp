@@ -10,12 +10,20 @@
  * misaligned I/O that forces read-modify-write — and reports
  * per-component statistics.
  *
- *   $ ./examples/full_device [coro|rtos|hw]
+ *   $ ./examples/full_device [coro|rtos|hw] [--trace-out t.json]
+ *                            [--metrics-out m.json]
+ *
+ * --trace-out writes a Chrome trace_event JSON of the workload (load
+ * it at ui.perfetto.dev); --metrics-out dumps the central metrics
+ * registry.
  */
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
 #include "host/hic.hh"
+#include "obs/perfetto.hh"
 #include "sim/random.hh"
 #include "ssd/ssd.hh"
 
@@ -24,7 +32,19 @@ using namespace babol;
 int
 main(int argc, char **argv)
 {
-    std::string flavor = argc > 1 ? argv[1] : "coro";
+    std::string flavor = "coro";
+    std::string trace_out, metrics_out;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc)
+            trace_out = argv[++i];
+        else if (!std::strcmp(argv[i], "--metrics-out") && i + 1 < argc)
+            metrics_out = argv[++i];
+        else if (argv[i][0] != '-')
+            flavor = argv[i];
+        else
+            fatal("usage: full_device [coro|rtos|hw] [--trace-out FILE] "
+                  "[--metrics-out FILE]");
+    }
 
     EventQueue eq;
     ssd::SsdConfig cfg;
@@ -48,6 +68,9 @@ main(int argc, char **argv)
                 cfg.flavor.c_str(),
                 static_cast<unsigned long long>(hic.totalSectors()),
                 hic.sectorBytes());
+
+    if (!trace_out.empty())
+        obs::trace().setEnabled(true);
 
     // A mixed host workload: large aligned writes, small misaligned
     // writes (RMW), and reads verifying every byte against an oracle.
@@ -139,6 +162,25 @@ main(int argc, char **argv)
                     device.controller(ch).flavorName(),
                     device.controller(ch).latencyUs().mean());
     }
+    if (!trace_out.empty()) {
+        std::ofstream out(trace_out);
+        if (!out)
+            fatal("cannot open %s", trace_out.c_str());
+        obs::writePerfettoJson(out, obs::trace());
+        std::printf("wrote %llu trace records to %s\n",
+                    static_cast<unsigned long long>(obs::trace().size()),
+                    trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+        obs::MetricsGroup kernel(obs::metrics(), "kernel");
+        obs::registerEventQueueMetrics(kernel, eq);
+        std::ofstream out(metrics_out);
+        if (!out)
+            fatal("cannot open %s", metrics_out.c_str());
+        obs::metrics().writeJson(out);
+        std::printf("wrote metrics to %s\n", metrics_out.c_str());
+    }
+
     std::printf("\ndevice time: %.1f ms; data integrity %s\n",
                 ticks::toMs(eq.now()),
                 verify_errors == 0 && failures == 0 ? "VERIFIED"

@@ -5,17 +5,24 @@
  * demo. Fills the device, then reports sequential and random READ
  * bandwidth and latency percentiles for a chosen controller flavour.
  *
- *   $ ./examples/ssd_fio [coro|rtos|hw]
+ *   $ ./examples/ssd_fio [coro|rtos|hw] [--trace-out t.json]
+ *                        [--metrics-out m.json]
+ *
+ * --trace-out writes a Chrome trace_event JSON of the measured READ
+ * phases (load it at ui.perfetto.dev); --metrics-out dumps the
+ * central metrics registry.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 
 #include "core/coro/coro_controller.hh"
 #include "core/hw/hw_controller.hh"
 #include "core/rtos_env/rtos_controller.hh"
 #include "ftl/ftl.hh"
 #include "host/fio.hh"
+#include "obs/perfetto.hh"
 
 using namespace babol;
 using namespace babol::core;
@@ -23,7 +30,19 @@ using namespace babol::core;
 int
 main(int argc, char **argv)
 {
-    std::string flavor = argc > 1 ? argv[1] : "coro";
+    std::string flavor = "coro";
+    std::string trace_out, metrics_out;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc)
+            trace_out = argv[++i];
+        else if (!std::strcmp(argv[i], "--metrics-out") && i + 1 < argc)
+            metrics_out = argv[++i];
+        else if (argv[i][0] != '-')
+            flavor = argv[i];
+        else
+            fatal("usage: ssd_fio [coro|rtos|hw] [--trace-out FILE] "
+                  "[--metrics-out FILE]");
+    }
 
     EventQueue eq;
     ChannelConfig cfg;
@@ -68,6 +87,11 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(extent),
                 ticks::toMs(filler.elapsed()), filler.bandwidthMBps());
 
+    // Trace only the measured READ phases; the fill would just push
+    // them out of the ring.
+    if (!trace_out.empty())
+        obs::trace().setEnabled(true);
+
     for (bool random_pattern : {false, true}) {
         host::FioConfig io;
         io.pattern = random_pattern ? host::FioConfig::Pattern::Random
@@ -90,6 +114,25 @@ main(int argc, char **argv)
                     engine.latencyUs().percentile(50),
                     engine.latencyUs().percentile(95),
                     engine.latencyUs().percentile(99));
+    }
+
+    if (!trace_out.empty()) {
+        std::ofstream out(trace_out);
+        if (!out)
+            fatal("cannot open %s", trace_out.c_str());
+        obs::writePerfettoJson(out, obs::trace());
+        std::printf("\nwrote %llu trace records to %s\n",
+                    static_cast<unsigned long long>(obs::trace().size()),
+                    trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+        obs::MetricsGroup kernel(obs::metrics(), "kernel");
+        obs::registerEventQueueMetrics(kernel, eq);
+        std::ofstream out(metrics_out);
+        if (!out)
+            fatal("cannot open %s", metrics_out.c_str());
+        obs::metrics().writeJson(out);
+        std::printf("wrote metrics to %s\n", metrics_out.c_str());
     }
 
     std::printf("\nRun with 'rtos' or 'hw' to compare flavours on the "

@@ -30,4 +30,28 @@ if [[ "$MODE" != "--plain-only" ]]; then
     run_suite "$ROOT/build-asan" -DBABOL_SANITIZE=ON
 fi
 
+# Tracing-overhead guard: with the obs hot path compiled in but
+# recording disabled, the event kernel must stay within 3% of its
+# plain throughput. One retry absorbs machine noise.
+if [[ "$MODE" != "--asan-only" ]]; then
+    echo "=== tier-1: tracing-overhead guard ==="
+    check_overhead() {
+        "$ROOT/build/bench/micro_event_kernel" --quick \
+            --out "$ROOT/build/bench_obs_guard.json" >/dev/null
+        local pct
+        pct="$(sed -n \
+            's/.*"obs_disabled_overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' \
+            "$ROOT/build/bench_obs_guard.json")"
+        echo "    obs-disabled overhead: ${pct}%"
+        awk -v p="$pct" 'BEGIN { exit !(p <= 3.0) }'
+    }
+    if ! check_overhead; then
+        echo "    above 3%; retrying once to rule out noise"
+        check_overhead || {
+            echo "FAIL: disabled tracing costs more than 3% throughput"
+            exit 1
+        }
+    fi
+fi
+
 echo "=== tier-1: OK ==="

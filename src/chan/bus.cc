@@ -7,7 +7,7 @@ namespace babol::chan {
 ChannelBus::ChannelBus(EventQueue &eq, const std::string &name,
                        const nand::TimingParams &timing,
                        std::uint32_t rate_mt)
-    : SimObject(eq, name), phy_(timing, rate_mt)
+    : SimObject(eq, name), phy_(timing, rate_mt), trace_(name)
 {}
 
 std::uint32_t
@@ -113,13 +113,22 @@ ChannelBus::issue(Segment seg, std::function<void(SegmentResult)> done)
     // every per-cycle callback stays on the kernel's inline path.
     const std::uint32_t mask = seg.ceMask;
 
+    // Span of this segment, minted before the record is written so the
+    // command-latch callbacks (which start LUN array ops) can adopt it
+    // as their ambient context; falls back to the op span when only the
+    // op layers are tracing.
+    const obs::SpanId seg_span = trace_.reserveSpan();
+    const obs::SpanId ctx =
+        seg_span != obs::kNoSpan ? seg_span : seg.ctx.span;
+
     for (const SegmentItem &item : seg.items) {
         offset += item.preDelay;
         switch (item.type) {
           case nand::CycleType::CmdLatch:
             for (std::uint8_t cmd : item.out) {
                 offset += phy_.commandCycle();
-                eq_.schedule(start + offset, [this, mask, cmd] {
+                eq_.schedule(start + offset, [this, mask, cmd, ctx] {
+                    obs::Hub::ScopedCtx scope(ctx);
                     for (nand::Package *pkg : selected(mask))
                         pkg->commandLatch(cmd);
                 }, "cmd latch");
@@ -193,7 +202,8 @@ ChannelBus::issue(Segment seg, std::function<void(SegmentResult)> done)
     busyTicks_ += offset;
     ++segmentsIssued_;
 
-    trace_.record({start, busyUntil_, seg.ceMask, seg.label});
+    trace_.record(start, busyUntil_, seg.ceMask, seg.label, seg.ctx.span,
+                  seg_span);
 
     eq_.schedule(busyUntil_, [result, done = std::move(done)] {
         done(std::move(*result));

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "nand/onfi.hh"
+#include "obs/span.hh"
 #include "sim/types.hh"
 
 namespace babol::chan {
@@ -89,6 +90,9 @@ struct Segment
 
     /** For the trace (logic-analyzer label). */
     std::string label;
+
+    /** Span of the controller op this segment belongs to (tracing). */
+    obs::TraceContext ctx;
 };
 
 /** Bytes captured from DataOut items, in order. */

@@ -9,13 +9,38 @@
 namespace babol::chan {
 
 std::vector<TraceEvent>
+BusTrace::events() const
+{
+    std::vector<TraceEvent> out;
+    const obs::Interner &in = recorder_->interner();
+    forEachMine([&](const obs::TraceRecord &rec) {
+        out.push_back({rec.t0, rec.t1,
+                       static_cast<std::uint32_t>(rec.arg),
+                       in.label(rec.label)});
+    });
+    return out;
+}
+
+std::size_t
+BusTrace::eventCount() const
+{
+    std::size_t n = 0;
+    forEachMine([&](const obs::TraceRecord &) { ++n; });
+    return n;
+}
+
+std::vector<TraceEvent>
 BusTrace::find(const std::string &needle) const
 {
     std::vector<TraceEvent> out;
-    for (const auto &ev : events_) {
-        if (ev.label.find(needle) != std::string::npos)
-            out.push_back(ev);
-    }
+    const obs::Interner &in = recorder_->interner();
+    forEachMine([&](const obs::TraceRecord &rec) {
+        const std::string &label = in.label(rec.label);
+        if (label.find(needle) != std::string::npos) {
+            out.push_back({rec.t0, rec.t1,
+                           static_cast<std::uint32_t>(rec.arg), label});
+        }
+    });
     return out;
 }
 
@@ -35,12 +60,12 @@ BusTrace::busyFraction(Tick t0, Tick t1) const
     if (t1 <= t0)
         return 0.0;
     Tick busy = 0;
-    for (const auto &ev : events_) {
-        Tick s = std::max(ev.start, t0);
-        Tick e = std::min(ev.end, t1);
+    forEachMine([&](const obs::TraceRecord &rec) {
+        Tick s = std::max(rec.t0, t0);
+        Tick e = std::min(rec.t1, t1);
         if (e > s)
             busy += e - s;
-    }
+    });
     return static_cast<double>(busy) / static_cast<double>(t1 - t0);
 }
 
@@ -74,22 +99,26 @@ BusTrace::writeVcd(std::ostream &os,
         return s.empty() ? std::string("SEG") : s;
     };
 
-    for (const TraceEvent &ev : events_) {
-        os << '#' << ev.start << "\n1!\nb" << bits8(ev.ceMask) << " \"\ns"
-           << vcd_label(ev.label) << " #\n";
-        os << '#' << ev.end << "\n0!\nsIDLE #\n";
-    }
+    const obs::Interner &in = recorder_->interner();
+    forEachMine([&](const obs::TraceRecord &rec) {
+        os << '#' << rec.t0 << "\n1!\nb"
+           << bits8(static_cast<std::uint32_t>(rec.arg)) << " \"\ns"
+           << vcd_label(in.label(rec.label)) << " #\n";
+        os << '#' << rec.t1 << "\n0!\nsIDLE #\n";
+    });
 }
 
 std::string
 BusTrace::renderTimeline() const
 {
     std::ostringstream os;
-    for (const auto &ev : events_) {
+    const obs::Interner &in = recorder_->interner();
+    forEachMine([&](const obs::TraceRecord &rec) {
         os << strfmt("  [%10.3f .. %10.3f us] ce=%02x  %s\n",
-                     ticks::toUs(ev.start), ticks::toUs(ev.end), ev.ceMask,
-                     ev.label.c_str());
-    }
+                     ticks::toUs(rec.t0), ticks::toUs(rec.t1),
+                     static_cast<std::uint32_t>(rec.arg),
+                     in.label(rec.label).c_str());
+    });
     return os.str();
 }
 

@@ -6,20 +6,28 @@
  * Every executed segment records its span, chip mask, and label with
  * picosecond resolution. Harnesses query the trace to measure polling
  * periods and detection delays, and can render a human-readable timeline.
+ *
+ * Recording goes through the process-wide obs ring buffer: labels are
+ * interned (no heap allocation per segment after a label's first
+ * appearance) and each BusTrace is one *track* in the ring, identified
+ * by its channel name. Query APIs (find/periodsOf/...) materialize
+ * TraceEvent values from this instance's slice of the ring on demand.
  */
 
 #ifndef BABOL_CHAN_TRACE_HH
 #define BABOL_CHAN_TRACE_HH
 
 #include <cstdint>
-#include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "obs/hub.hh"
 #include "sim/types.hh"
 
 namespace babol::chan {
 
+/** Materialized view of one recorded segment (query results). */
 struct TraceEvent
 {
     Tick start = 0;
@@ -31,19 +39,75 @@ struct TraceEvent
 class BusTrace
 {
   public:
-    /** Start/stop recording (off by default; recording costs memory). */
-    void setEnabled(bool on) { enabled_ = on; }
-    bool enabled() const { return enabled_; }
+    BusTrace() : BusTrace("bus") {}
 
-    void
-    record(TraceEvent ev)
+    /** @param channel_name names this trace's track in the obs ring. */
+    explicit BusTrace(std::string_view channel_name)
+        : recorder_(&obs::trace()),
+          track_(obs::interner().intern(channel_name)),
+          sinceSeq_(recorder_->nextSeq())
+    {}
+
+    /**
+     * Start/stop recording this bus (off by default; recording costs
+     * memory). Segments are also captured — regardless of this switch —
+     * whenever whole-simulator tracing (obs::trace()) is enabled.
+     */
+    void setEnabled(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_ || recorder_->enabled(); }
+
+    /**
+     * Span id for a segment about to run, so bus callbacks can adopt
+     * it as their ambient context before the record is written
+     * (kNoSpan when recording is off).
+     */
+    obs::SpanId
+    reserveSpan()
     {
-        if (enabled_)
-            events_.push_back(std::move(ev));
+        return enabled() ? recorder_->nextSpanId() : obs::kNoSpan;
     }
 
-    const std::vector<TraceEvent> &events() const { return events_; }
-    void clear() { events_.clear(); }
+    /**
+     * Record one segment [start, end] under this trace's track. The
+     * label is interned — zero allocation for repeat labels. Returns
+     * the segment's span id (kNoSpan when recording is off); pass a
+     * reserved @p span to record under a pre-minted id.
+     */
+    obs::SpanId
+    record(Tick start, Tick end, std::uint32_t ce_mask,
+           std::string_view label, obs::SpanId parent = obs::kNoSpan,
+           obs::SpanId span = obs::kNoSpan)
+    {
+        if (!enabled())
+            return obs::kNoSpan;
+        obs::TraceRecord rec;
+        rec.kind = obs::RecKind::Complete;
+        rec.t0 = start;
+        rec.t1 = end;
+        rec.span = span != obs::kNoSpan ? span : recorder_->nextSpanId();
+        rec.parent = parent;
+        rec.arg = ce_mask;
+        rec.track = track_;
+        rec.label = recorder_->interner().intern(label);
+        recorder_->push(rec);
+        return rec.span;
+    }
+
+    /** Compatibility shim for the pre-obs struct API. */
+    void
+    record(const TraceEvent &ev)
+    {
+        record(ev.start, ev.end, ev.ceMask, ev.label);
+    }
+
+    /** This trace's events, oldest first (materialized from the ring). */
+    std::vector<TraceEvent> events() const;
+
+    std::size_t eventCount() const;
+
+    /** Forget this trace's past records (the ring itself is shared and
+     *  keeps running; we just move our watermark). */
+    void clear() { sinceSeq_ = recorder_->nextSeq(); }
 
     /** Events whose label contains @p needle. */
     std::vector<TraceEvent> find(const std::string &needle) const;
@@ -70,8 +134,24 @@ class BusTrace
                   const std::string &channel_name = "channel") const;
 
   private:
+    /** Visit this instance's Complete records, oldest first. */
+    template <typename F>
+    void
+    forEachMine(F &&fn) const
+    {
+        recorder_->forEach([&](std::uint64_t seq,
+                               const obs::TraceRecord &rec) {
+            if (seq >= sinceSeq_ && rec.track == track_ &&
+                rec.kind == obs::RecKind::Complete) {
+                fn(rec);
+            }
+        });
+    }
+
+    obs::TraceRecorder *recorder_;
+    std::uint32_t track_;
+    std::uint64_t sinceSeq_; //!< ring records before this are not ours
     bool enabled_ = false;
-    std::vector<TraceEvent> events_;
 };
 
 } // namespace babol::chan

@@ -10,7 +10,9 @@
 
 #include "channel_system.hh"
 #include "flash_backend.hh"
+#include "obs/hub.hh"
 #include "op_request.hh"
+#include "sim/logging.hh"
 #include "sim/stats.hh"
 
 namespace babol::core {
@@ -33,8 +35,31 @@ class ChannelController : public SimObject, public FlashBackend
                       ChannelSystem &sys)
         : SimObject(eq, name),
           sys_(sys),
-          latencyUs_("op latency (us)")
-    {}
+          latencyUs_("op latency (us)"),
+          obsTrack_(obs::interner().intern(name)),
+          chipSpan_(sys.chipCount(), obs::kNoSpan),
+          metrics_(obs::metrics(), name)
+    {
+        for (int k = 0; k < kOpKinds; ++k) {
+            opLabel_[k] = obs::interner().intern(
+                strfmt("op.%s", toString(static_cast<FlashOpKind>(k))));
+        }
+        metrics_.value("ops_completed", [this] { return opsCompleted_; });
+        metrics_.value("ops_failed", [this] { return opsFailed_; });
+        metrics_.value("payload_bytes_read",
+                       [this] { return payloadRead_; });
+        metrics_.value("payload_bytes_written",
+                       [this] { return payloadWritten_; });
+        metrics_.distribution("latency_us", &latencyUs_);
+
+        // Segments whose transactions carry no explicit span are
+        // attributed to the op running on their chip (every flavour
+        // runs at most one op per chip at a time).
+        sys_.exec().setCtxResolver(
+            [this](std::uint32_t chip) { return opCtx(chip); });
+    }
+
+    ~ChannelController() override { sys_.exec().setCtxResolver(nullptr); }
 
     /** "coroutine", "rtos", "hw-sync", or "hw-async". */
     virtual const char *flavorName() const = 0;
@@ -72,11 +97,48 @@ class ChannelController : public SimObject, public FlashBackend
     }
 
   protected:
+    /**
+     * Stamp the submit tick and open the op span; every flavour calls
+     * this first thing in submit(). The submitter's context (if any)
+     * becomes the op span's parent.
+     */
+    void
+    acceptRequest(FlashRequest &req)
+    {
+        req.submitTick = curTick();
+        auto &tr = obs::trace();
+        if (tr.enabled()) {
+            req.ctx.span = tr.beginSpan(
+                obsTrack_, opLabel_[static_cast<int>(req.kind)],
+                curTick(), req.ctx.span, req.chip);
+        }
+    }
+
+    /** Bind the op span to its chip while the op runs, so transactions
+     *  and segments issued on that chip inherit it. */
+    void noteOpStart(const FlashRequest &req)
+    {
+        if (req.chip < chipSpan_.size())
+            chipSpan_[req.chip] = req.ctx.span;
+    }
+
+    /** Span of the op currently running on @p chip (kNoSpan if idle). */
+    obs::SpanId
+    opCtx(std::uint32_t chip) const
+    {
+        return chip < chipSpan_.size() ? chipSpan_[chip] : obs::kNoSpan;
+    }
+
     /** Record stats and deliver the result to the requester. */
     void
     finishOp(const FlashRequest &req, OpResult result)
     {
         result.doneTick = curTick();
+        obs::trace().endSpan(req.ctx.span, result.doneTick);
+        if (req.chip < chipSpan_.size() &&
+            chipSpan_[req.chip] == req.ctx.span) {
+            chipSpan_[req.chip] = obs::kNoSpan;
+        }
         ++opsCompleted_;
         if (!result.ok)
             ++opsFailed_;
@@ -105,6 +167,14 @@ class ChannelController : public SimObject, public FlashBackend
     std::uint64_t payloadRead_ = 0;
     std::uint64_t payloadWritten_ = 0;
     Distribution latencyUs_;
+
+    static constexpr int kOpKinds = 6;
+    std::uint32_t obsTrack_;
+    std::uint32_t opLabel_[kOpKinds] = {};
+    std::vector<obs::SpanId> chipSpan_;
+
+    /** Last member: deregisters before the stats it references die. */
+    obs::MetricsGroup metrics_;
 };
 
 } // namespace babol::core

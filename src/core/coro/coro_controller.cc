@@ -18,7 +18,7 @@ CoroController::CoroController(EventQueue &eq, const std::string &name,
 void
 CoroController::submit(FlashRequest req)
 {
-    req.submitTick = curTick();
+    acceptRequest(req);
     babol_assert(req.chip < chipBusy_.size(), "chip %u out of range",
                  req.chip);
     tasks_->submit(std::move(req));
@@ -69,6 +69,7 @@ void
 CoroController::startRequest(FlashRequest req)
 {
     chipBusy_[req.chip] = true;
+    noteOpStart(req);
     std::uint64_t id = nextId_++;
 
     auto live = std::make_unique<Live>();

@@ -40,6 +40,10 @@ ExecUnit::tryIssue()
     dtrace("Exec", "%s: issue '%s' @%0.3f us", name().c_str(),
            txn.label.c_str(), ticks::toUs(curTick()));
 
+    if (txn.ctx.span == obs::kNoSpan && ctxResolver_)
+        txn.ctx.span = ctxResolver_(txn.chip);
+    built.segment.ctx = txn.ctx;
+
     auto txn_holder = std::make_shared<Transaction>(std::move(txn));
     auto built_holder = std::make_shared<BuiltSegment>(std::move(built));
     bus_.issue(built_holder->segment,

@@ -53,6 +53,16 @@ class ExecUnit : public SimObject
         spaceCallback_ = std::move(cb);
     }
 
+    /**
+     * Resolver mapping a chip to the span of the op running on it;
+     * installed by the channel controller so transactions that carry no
+     * explicit context are attributed to their op at issue time.
+     */
+    void setCtxResolver(std::function<obs::SpanId(std::uint32_t)> fn)
+    {
+        ctxResolver_ = std::move(fn);
+    }
+
     std::uint64_t transactionsExecuted() const { return executed_; }
 
   private:
@@ -67,6 +77,7 @@ class ExecUnit : public SimObject
     std::deque<Transaction> fifo_;
     bool issuing_ = false;
     std::function<void()> spaceCallback_;
+    std::function<obs::SpanId(std::uint32_t)> ctxResolver_;
     std::uint64_t executed_ = 0;
 };
 

@@ -22,7 +22,7 @@ HwController::~HwController() = default;
 void
 HwController::submit(FlashRequest req)
 {
-    req.submitTick = curTick();
+    acceptRequest(req);
     babol_assert(req.chip < pending_.size(), "chip %u out of range",
                  req.chip);
     std::uint32_t chip = req.chip;
@@ -37,6 +37,7 @@ HwController::tryStart(std::uint32_t chip)
         return;
     FlashRequest req = std::move(pending_[chip].front());
     pending_[chip].pop_front();
+    noteOpStart(req);
     active_[chip] = makeHwOpFsm(*this, std::move(req));
     active_[chip]->start();
 }
@@ -55,6 +56,10 @@ HwController::issueSegment(std::uint32_t chip, chan::Segment seg,
         if (item.inCount > 64 || item.out.size() > 64)
             short_control = false;
     }
+    // The hw flavours issue to the bus directly (no exec unit), so the
+    // op span is stamped here.
+    if (seg.ctx.span == obs::kNoSpan)
+        seg.ctx.span = opCtx(chip);
     grants_[chip].push_back({std::move(seg), std::move(done),
                              short_control});
     pumpGrants();

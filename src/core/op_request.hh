@@ -13,6 +13,7 @@
 #include <functional>
 
 #include "nand/geometry.hh"
+#include "obs/span.hh"
 #include "sim/types.hh"
 
 namespace babol::core {
@@ -78,6 +79,13 @@ struct FlashRequest
 
     /** Stamped by the controller when the request is accepted. */
     Tick submitTick = 0;
+
+    /**
+     * Tracing context. The submitter sets it to the enclosing span
+     * (e.g. the FTL's); the controller replaces it with the op's own
+     * span on accept, recording the original as the op's parent.
+     */
+    obs::TraceContext ctx;
 
     std::function<void(OpResult)> onComplete;
 };

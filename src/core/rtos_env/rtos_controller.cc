@@ -18,7 +18,7 @@ RtosController::RtosController(EventQueue &eq, const std::string &name,
 void
 RtosController::submit(FlashRequest req)
 {
-    req.submitTick = curTick();
+    acceptRequest(req);
     babol_assert(req.chip < chipBusy_.size(), "chip %u out of range",
                  req.chip);
     tasks_->submit(std::move(req));
@@ -46,6 +46,7 @@ void
 RtosController::startRequest(FlashRequest req)
 {
     chipBusy_[req.chip] = true;
+    noteOpStart(req);
     std::uint64_t id = nextId_++;
 
     std::unique_ptr<RtosOpBase> op;

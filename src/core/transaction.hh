@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "instruction.hh"
+#include "obs/span.hh"
 
 namespace babol::core {
 
@@ -45,6 +46,10 @@ struct Transaction
     std::string label;
 
     std::vector<Instruction> instructions;
+
+    /** Span of the controller op this transaction executes for; when
+     *  left empty the exec unit resolves it from the op's chip. */
+    obs::TraceContext ctx;
 
     /** Called when the segment (and any DMA) completes. */
     std::function<void(TxnResult)> onComplete;

@@ -14,8 +14,19 @@ PageFtl::PageFtl(EventQueue &eq, const std::string &name,
       backend_(backend),
       cfg_(cfg),
       pageBytes_(backend.backendGeometry().pageDataBytes),
-      pagesPerBlock_(backend.backendGeometry().pagesPerBlock)
+      pagesPerBlock_(backend.backendGeometry().pagesPerBlock),
+      metrics_(obs::metrics(), name)
 {
+    obsTrack_ = obs::interner().intern(name);
+    lblRead_ = obs::interner().intern("ftl.read");
+    lblWrite_ = obs::interner().intern("ftl.write");
+    metrics_.value("host_reads", [this] { return hostReads_; });
+    metrics_.value("host_writes", [this] { return hostWrites_; });
+    metrics_.value("gc_runs", [this] { return gcRuns_; });
+    metrics_.value("gc_page_moves", [this] { return gcPageMoves_; });
+    metrics_.value("erases", [this] { return erases_; });
+    metrics_.value("blocks_retired", [this] { return retired_; });
+
     const std::uint32_t chips = backend_.backendChipCount();
     babol_assert(cfg_.blocksPerChip <=
                      backend_.backendGeometry().blocksPerLun(),
@@ -100,12 +111,19 @@ PageFtl::readPage(std::uint64_t lpn, std::uint64_t dram_addr, Callback cb)
     ++hostReads_;
     Ppa ppa = unpackPpa(map_[lpn]);
 
+    const obs::SpanId span = obs::trace().beginSpan(
+        obsTrack_, lblRead_, curTick(), obs::currentCtx(), lpn);
+
     FlashRequest req;
     req.kind = FlashOpKind::Read;
     req.chip = ppa.chip;
     req.row = {0, ppa.block, ppa.page};
     req.dramAddr = dram_addr;
-    req.onComplete = [cb](OpResult r) { cb(r.ok); };
+    req.ctx.span = span;
+    req.onComplete = [cb, span](OpResult r) {
+        obs::trace().endSpan(span, r.doneTick);
+        cb(r.ok);
+    };
     backend_.submit(std::move(req));
 }
 
@@ -115,18 +133,21 @@ PageFtl::writePage(std::uint64_t lpn, std::uint64_t dram_addr, Callback cb)
     babol_assert(lpn < logicalPages_, "LPN %llu out of range",
                  static_cast<unsigned long long>(lpn));
     ++hostWrites_;
-    allocateAndWrite(lpn, dram_addr, std::move(cb));
+    const obs::SpanId span = obs::trace().beginSpan(
+        obsTrack_, lblWrite_, curTick(), obs::currentCtx(), lpn);
+    allocateAndWrite(lpn, dram_addr, std::move(cb), 0, span);
 }
 
 void
 PageFtl::allocateAndWrite(std::uint64_t lpn, std::uint64_t dram_addr,
-                          Callback cb, std::uint32_t retries)
+                          Callback cb, std::uint32_t retries,
+                          obs::SpanId span)
 {
     std::uint32_t chip = writeCursor_ % chips_.size();
     writeCursor_ = (writeCursor_ + 1) %
                    static_cast<std::uint32_t>(chips_.size());
     chips_[chip].writeQueue.push_back(
-        {lpn, dram_addr, std::move(cb), retries});
+        {lpn, dram_addr, std::move(cb), retries, span});
     pumpWrites(chip);
 }
 
@@ -235,6 +256,7 @@ PageFtl::pumpWrites(std::uint32_t chip)
         req.chip = chip;
         req.row = {0, block, page};
         req.dramAddr = write.dramAddr;
+        req.ctx.span = write.span;
         req.onComplete = [this, chip, block, page,
                           write = std::move(write)](OpResult r) mutable {
             BlockInfo &info = chips_[chip].blocks[block];
@@ -242,6 +264,7 @@ PageFtl::pumpWrites(std::uint32_t chip)
             if (r.ok) {
                 invalidate(write.lpn);
                 map_[write.lpn] = packPpa({chip, block, page});
+                obs::trace().endSpan(write.span, r.doneTick);
                 write.cb(true);
             } else {
                 // Program failure: drop the reservation, retire the
@@ -255,11 +278,12 @@ PageFtl::pumpWrites(std::uint32_t chip)
                          name().c_str(),
                          static_cast<unsigned long long>(write.lpn),
                          write.retries + 1);
+                    obs::trace().endSpan(write.span, r.doneTick);
                     write.cb(false);
                 } else {
                     allocateAndWrite(write.lpn, write.dramAddr,
                                      std::move(write.cb),
-                                     write.retries + 1);
+                                     write.retries + 1, write.span);
                 }
             }
             maybeStartGc(chip);

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/flash_backend.hh"
+#include "obs/hub.hh"
 #include "sim/sim_object.hh"
 
 namespace babol::ftl {
@@ -111,6 +112,9 @@ class PageFtl : public SimObject
         std::uint64_t dramAddr;
         Callback cb;
         std::uint32_t retries = 0;
+
+        /** FTL-write span; stays open across program retries. */
+        obs::SpanId span = obs::kNoSpan;
     };
 
     struct ChipState
@@ -124,7 +128,8 @@ class PageFtl : public SimObject
     };
 
     void allocateAndWrite(std::uint64_t lpn, std::uint64_t dram_addr,
-                          Callback cb, std::uint32_t retries = 0);
+                          Callback cb, std::uint32_t retries = 0,
+                          obs::SpanId span = obs::kNoSpan);
     void pumpWrites(std::uint32_t chip);
     bool ensureActiveBlock(std::uint32_t chip);
     void startEraseBeforeUse(std::uint32_t chip, std::uint32_t block);
@@ -156,6 +161,13 @@ class PageFtl : public SimObject
 
     std::uint64_t packPpa(const Ppa &p) const;
     Ppa unpackPpa(std::uint64_t packed) const;
+
+    std::uint32_t obsTrack_ = 0;
+    std::uint32_t lblRead_ = 0;
+    std::uint32_t lblWrite_ = 0;
+
+    /** Last member: deregisters before the stats it references die. */
+    obs::MetricsGroup metrics_;
 };
 
 } // namespace babol::ftl

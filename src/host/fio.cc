@@ -8,8 +8,16 @@ FioEngine::FioEngine(EventQueue &eq, const std::string &name,
       ftl_(ftl),
       cfg_(cfg),
       rng_(cfg.seed),
-      latencyUs_("io latency (us)")
+      latencyUs_("io latency (us)"),
+      metrics_(obs::metrics(), name)
 {
+    obsTrack_ = obs::interner().intern(name);
+    lblRead_ = obs::interner().intern("io.read");
+    lblWrite_ = obs::interner().intern("io.write");
+    metrics_.value("completed", [this] { return completed_; });
+    metrics_.value("errors", [this] { return errors_; });
+    metrics_.distribution("latency_us", &latencyUs_);
+
     if (cfg_.extentPages == 0)
         cfg_.extentPages = ftl_.logicalPages();
     babol_assert(cfg_.extentPages <= ftl_.logicalPages(),
@@ -60,7 +68,14 @@ FioEngine::issueNext(std::uint32_t slot)
                         static_cast<std::uint64_t>(slot) * ftl_.pageBytes();
     Tick begin = curTick();
 
-    auto complete = [this, slot, begin](bool ok) {
+    // Root span of this IO (fio drives the FTL directly, so it plays
+    // the host's role in the span tree).
+    const obs::SpanId span = obs::trace().beginSpan(
+        obsTrack_, cfg_.write ? lblWrite_ : lblRead_, begin,
+        obs::currentCtx(), lpn);
+
+    auto complete = [this, slot, begin, span](bool ok) {
+        obs::trace().endSpan(span, curTick());
         --inFlight_;
         ++completed_;
         if (!ok)
@@ -77,6 +92,7 @@ FioEngine::issueNext(std::uint32_t slot)
         }
     };
 
+    obs::Hub::ScopedCtx ctx(span);
     if (cfg_.write)
         ftl_.writePage(lpn, buf, complete);
     else

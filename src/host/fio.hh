@@ -14,6 +14,7 @@
 #include <functional>
 
 #include "ftl/ftl.hh"
+#include "obs/hub.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
 
@@ -81,6 +82,13 @@ class FioEngine : public SimObject
     Tick startTick_ = 0;
     Tick endTick_ = 0;
     Distribution latencyUs_;
+
+    std::uint32_t obsTrack_ = 0;
+    std::uint32_t lblRead_ = 0;
+    std::uint32_t lblWrite_ = 0;
+
+    /** Last member: deregisters before the stats it references die. */
+    obs::MetricsGroup metrics_;
 };
 
 } // namespace babol::host

@@ -4,8 +4,17 @@ namespace babol::host {
 
 Hic::Hic(EventQueue &eq, const std::string &name, ftl::PageFtl &ftl,
          HicConfig cfg)
-    : SimObject(eq, name), ftl_(ftl), cfg_(cfg)
+    : SimObject(eq, name), ftl_(ftl), cfg_(cfg),
+      metrics_(obs::metrics(), name)
 {
+    obsTrack_ = obs::interner().intern(name);
+    lblRead_ = obs::interner().intern("io.read");
+    lblWrite_ = obs::interner().intern("io.write");
+    metrics_.value("ios_completed", [this] { return iosCompleted_; });
+    metrics_.value("ios_failed", [this] { return iosFailed_; });
+    metrics_.value("page_ops", [this] { return pageOps_; });
+    metrics_.value("rmw", [this] { return rmw_; });
+
     babol_assert(ftl.pageBytes() % cfg_.sectorBytes == 0,
                  "page size %u not a multiple of the sector size %u",
                  ftl.pageBytes(), cfg_.sectorBytes);
@@ -86,6 +95,7 @@ Hic::pieceDone(const std::shared_ptr<IoState> &state, bool ok)
             ++iosFailed_;
         else
             ++iosCompleted_;
+        obs::trace().endSpan(state->span, curTick());
         if (state->io.onComplete)
             state->io.onComplete(!state->failed);
     }
@@ -103,6 +113,9 @@ Hic::submit(HostIo io)
 
     auto state = std::make_shared<IoState>();
     state->io = std::move(io);
+    state->span = obs::trace().beginSpan(
+        obsTrack_, state->io.write ? lblWrite_ : lblRead_, curTick(),
+        obs::currentCtx(), state->io.lba);
 
     const std::uint64_t lba = state->io.lba;
     const std::uint64_t end = lba + state->io.sectors;
@@ -139,6 +152,11 @@ Hic::issuePagePiece(std::shared_ptr<IoState> state, std::uint64_t lpn,
 
     auto done = [this, state](bool ok) { pieceDone(state, ok); };
 
+    // FTL calls run under the host command's span so the FTL spans
+    // parent correctly even when deferred by page locks or scratch
+    // waits (the lambdas carry the id; ScopedCtx installs it).
+    const obs::SpanId span = state->span;
+
     if (!state->io.write) {
         // READ. Unwritten pages read back as zeros, as real devices
         // guarantee deterministic data for unwritten LBAs.
@@ -150,13 +168,17 @@ Hic::issuePagePiece(std::shared_ptr<IoState> state, std::uint64_t lpn,
         }
         if (full) {
             ++pageOps_;
+            obs::Hub::ScopedCtx ctx(span);
             ftl_.readPage(lpn, host_addr, done);
             return;
         }
         // Partial read: gather through a scratch slot.
-        lockPage(lpn, [this, lpn, host_addr, byte_off, byte_len, done] {
-            withScratch([this, lpn, host_addr, byte_off, byte_len, done](std::uint64_t scratch) {
+        lockPage(lpn, [this, lpn, host_addr, byte_off, byte_len, done,
+                       span] {
+            withScratch([this, lpn, host_addr, byte_off, byte_len, done,
+                         span](std::uint64_t scratch) {
                 ++pageOps_;
+                obs::Hub::ScopedCtx ctx(span);
                 ftl_.readPage(lpn, scratch, [this, lpn, host_addr,
                                              byte_off, byte_len, done,
                                              scratch](bool ok) {
@@ -179,22 +201,25 @@ Hic::issuePagePiece(std::shared_ptr<IoState> state, std::uint64_t lpn,
     // WRITE.
     if (full) {
         ++pageOps_;
+        obs::Hub::ScopedCtx ctx(span);
         ftl_.writePage(lpn, host_addr, done);
         return;
     }
 
     // Sub-page write: read-modify-write under the page lock.
     ++rmw_;
-    lockPage(lpn, [this, lpn, host_addr, byte_off, byte_len, done] {
-        withScratch([this, lpn, host_addr, byte_off, byte_len,
-                     done](std::uint64_t scratch) {
+    lockPage(lpn, [this, lpn, host_addr, byte_off, byte_len, done,
+                   span] {
+        withScratch([this, lpn, host_addr, byte_off, byte_len, done,
+                     span](std::uint64_t scratch) {
             auto overlay_and_write = [this, lpn, host_addr, byte_off,
-                                      byte_len, done, scratch] {
+                                      byte_len, done, scratch, span] {
                 dram::DramBuffer &d = ftl_.backend().backendDram();
                 std::vector<std::uint8_t> buf(byte_len);
                 d.read(host_addr, buf);
                 d.write(scratch + byte_off, buf);
                 ++pageOps_;
+                obs::Hub::ScopedCtx ctx(span);
                 ftl_.writePage(lpn, scratch, [this, lpn, done,
                                               scratch](bool ok) {
                     releaseScratch(scratch);
@@ -205,6 +230,7 @@ Hic::issuePagePiece(std::shared_ptr<IoState> state, std::uint64_t lpn,
 
             if (ftl_.isMapped(lpn)) {
                 ++pageOps_;
+                obs::Hub::ScopedCtx ctx(span);
                 ftl_.readPage(lpn, scratch, [this, lpn, done, scratch,
                                              overlay_and_write](bool ok) {
                     if (!ok) {

@@ -74,6 +74,9 @@ class Hic : public SimObject
         std::uint32_t outstanding = 0;
         bool failed = false;
         bool issuedAll = false;
+
+        /** Root span of this host command (tracing). */
+        obs::SpanId span = obs::kNoSpan;
     };
 
     void issuePagePiece(std::shared_ptr<IoState> state, std::uint64_t lpn,
@@ -105,6 +108,13 @@ class Hic : public SimObject
     std::uint64_t iosFailed_ = 0;
     std::uint64_t pageOps_ = 0;
     std::uint64_t rmw_ = 0;
+
+    std::uint32_t obsTrack_ = 0;
+    std::uint32_t lblRead_ = 0;
+    std::uint32_t lblWrite_ = 0;
+
+    /** Last member: deregisters before the stats it references die. */
+    obs::MetricsGroup metrics_;
 };
 
 } // namespace babol::host

@@ -37,8 +37,18 @@ Lun::Lun(EventQueue &eq, const std::string &name, const PackageConfig &cfg,
       lunIndex_(lun_index),
       array_(cfg.geometry, seed),
       rng_(seed ^ 0x9e3779b97f4a7c15ULL),
-      planes_(cfg.geometry.planesPerLun)
+      planes_(cfg.geometry.planesPerLun),
+      metrics_(obs::metrics(), name)
 {
+    obsTrack_ = obs::interner().intern(name);
+    for (std::size_t i = 0; i < busyLabel_.size(); ++i) {
+        busyLabel_[i] = obs::interner().intern(
+            strfmt("busy.%s", toString(static_cast<ArrayOp>(i))));
+    }
+    metrics_.value("reads", [this] { return completedReads_; });
+    metrics_.value("programs", [this] { return completedPrograms_; });
+    metrics_.value("erases", [this] { return completedErases_; });
+
     for (Plane &pl : planes_) {
         pl.cacheReg.assign(cfg_.geometry.pageTotalBytes(), 0xFF);
         pl.dataReg.assign(cfg_.geometry.pageTotalBytes(), 0xFF);
@@ -720,6 +730,11 @@ Lun::startArrayOp(ArrayOp op, Tick duration, std::function<void()> done)
     busyOp_ = op;
     busyUntil_ = curTick() + duration;
     completion_ = std::move(done);
+    // The confirm command latch that started this op runs under the
+    // issuing segment's ambient span (set by the bus); adopt it as the
+    // busy period's parent.
+    opStart_ = curTick();
+    opParent_ = obs::currentCtx();
     busyEvent_ =
         scheduleIn(duration, [this] { completeArrayOp(); }, "lun array op");
 }
@@ -727,6 +742,12 @@ Lun::startArrayOp(ArrayOp op, Tick duration, std::function<void()> done)
 void
 Lun::completeArrayOp()
 {
+    auto &tr = obs::trace();
+    if (tr.enabled() && busyOp_ != ArrayOp::None) {
+        tr.complete(obsTrack_,
+                    busyLabel_[static_cast<std::size_t>(busyOp_)],
+                    opStart_, curTick(), opParent_);
+    }
     rdy_ = true;
     ardy_ = true;
     busyOp_ = ArrayOp::None;

@@ -26,6 +26,7 @@
 
 #include "flash_array.hh"
 #include "geometry.hh"
+#include "obs/hub.hh"
 #include "onfi.hh"
 #include "sim/sim_object.hh"
 #include "timing.hh"
@@ -296,6 +297,16 @@ class Lun : public SimObject
     std::uint64_t completedReads_ = 0;
     std::uint64_t completedPrograms_ = 0;
     std::uint64_t completedErases_ = 0;
+
+    // Tracing: busy periods are recorded as spans parented on the bus
+    // segment (or controller op) whose command confirm started them.
+    std::uint32_t obsTrack_ = 0;
+    std::array<std::uint32_t, 8> busyLabel_{}; //!< per-ArrayOp label id
+    obs::SpanId opParent_ = obs::kNoSpan;
+    Tick opStart_ = 0;
+
+    /** Last member: deregisters before the stats it references die. */
+    obs::MetricsGroup metrics_;
 };
 
 } // namespace babol::nand

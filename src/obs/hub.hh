@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The observability hub: one process-wide home for the label interner,
+ * the trace recorder, the metrics registry, and the ambient span
+ * context.
+ *
+ * The simulator is single-threaded by construction (one EventQueue,
+ * sequential callbacks), so a singleton with a plain "current context"
+ * slot is both safe and the least invasive way to thread span identity
+ * through call chains that were never built to carry it: a producer
+ * that opens a span installs it as the ambient context (ScopedCtx) for
+ * the synchronous work it triggers, and async continuations carry the
+ * span id explicitly in their request/transaction/segment structs.
+ *
+ * Tests call reset() between runs so recorded state never leaks across
+ * fixtures.
+ */
+
+#ifndef BABOL_OBS_HUB_HH
+#define BABOL_OBS_HUB_HH
+
+#include "interner.hh"
+#include "metrics.hh"
+#include "recorder.hh"
+#include "span.hh"
+
+namespace babol {
+class EventQueue;
+} // namespace babol
+
+namespace babol::obs {
+
+class Hub
+{
+  public:
+    static Hub &instance();
+
+    Interner &interner() { return interner_; }
+    TraceRecorder &trace() { return trace_; }
+    MetricsRegistry &metrics() { return metrics_; }
+
+    /** Ambient span for synchronously-triggered work (kNoSpan if none). */
+    SpanId currentCtx() const { return current_; }
+
+    /**
+     * Drop recorded trace state and the ambient context. Metric
+     * registrations and interned labels survive (they belong to live
+     * objects); the recording switch is turned off.
+     */
+    void
+    reset()
+    {
+        trace_.setEnabled(false);
+        trace_.clear();
+        current_ = kNoSpan;
+    }
+
+    /** RAII: installs @p ctx as the ambient span for the current scope. */
+    class ScopedCtx
+    {
+      public:
+        explicit ScopedCtx(SpanId ctx)
+            : hub_(Hub::instance()), prev_(hub_.current_)
+        {
+            hub_.current_ = ctx;
+        }
+        ~ScopedCtx() { hub_.current_ = prev_; }
+
+        ScopedCtx(const ScopedCtx &) = delete;
+        ScopedCtx &operator=(const ScopedCtx &) = delete;
+
+      private:
+        Hub &hub_;
+        SpanId prev_;
+    };
+
+  private:
+    Hub() : trace_(interner_) {}
+
+    friend class ScopedCtx;
+
+    Interner interner_;
+    TraceRecorder trace_;
+    MetricsRegistry metrics_;
+    SpanId current_ = kNoSpan;
+};
+
+inline Hub &hub() { return Hub::instance(); }
+inline Interner &interner() { return hub().interner(); }
+inline TraceRecorder &trace() { return hub().trace(); }
+inline MetricsRegistry &metrics() { return hub().metrics(); }
+inline SpanId currentCtx() { return hub().currentCtx(); }
+
+/**
+ * Register the event kernel's pool/scheduler gauges under
+ * "<prefix>.pool_live", "<prefix>.wheel_inserts", ... The obs layer
+ * depends on sim (never the reverse), so the bridge lives here.
+ */
+MetricsGroup &registerEventQueueMetrics(MetricsGroup &group,
+                                        const EventQueue &eq);
+
+} // namespace babol::obs
+
+#endif // BABOL_OBS_HUB_HH

@@ -1,0 +1,223 @@
+#include "metrics.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace babol::obs {
+
+namespace {
+
+/** Binary search into a name-sorted vector. */
+template <typename T>
+const T *
+findByName(const std::vector<T> &v, std::string_view name)
+{
+    auto it = std::lower_bound(v.begin(), v.end(), name,
+                               [](const T &a, std::string_view n) {
+                                   return a.name < n;
+                               });
+    if (it == v.end() || it->name != name)
+        return nullptr;
+    return &*it;
+}
+
+void
+writeJsonString(std::ostream &os, std::string_view s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+writeJsonDouble(std::ostream &os, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    os << buf;
+}
+
+} // namespace
+
+const MetricsSnapshot::Scalar *
+MetricsSnapshot::findScalar(std::string_view name) const
+{
+    return findByName(scalars, name);
+}
+
+const MetricsSnapshot::Dist *
+MetricsSnapshot::findDist(std::string_view name) const
+{
+    return findByName(dists, name);
+}
+
+std::uint64_t
+MetricsSnapshot::scalar(std::string_view name, std::uint64_t fallback) const
+{
+    const Scalar *s = findScalar(name);
+    return s ? s->value : fallback;
+}
+
+MetricsRegistry::Token
+MetricsRegistry::insert(std::string name, Entry entry)
+{
+    entry.serial = nextSerial_++;
+    Token tok{name, entry.serial};
+    entries_.insert_or_assign(std::move(name), std::move(entry));
+    return tok;
+}
+
+MetricsRegistry::Token
+MetricsRegistry::addCounter(std::string name, const Counter *counter)
+{
+    Entry e;
+    e.kind = Entry::Kind::Counter;
+    e.counter = counter;
+    return insert(std::move(name), std::move(e));
+}
+
+MetricsRegistry::Token
+MetricsRegistry::addValue(std::string name, ValueFn fn)
+{
+    Entry e;
+    e.kind = Entry::Kind::Value;
+    e.fn = std::move(fn);
+    return insert(std::move(name), std::move(e));
+}
+
+MetricsRegistry::Token
+MetricsRegistry::addDistribution(std::string name, const Distribution *dist)
+{
+    Entry e;
+    e.kind = Entry::Kind::Dist;
+    e.dist = dist;
+    return insert(std::move(name), std::move(e));
+}
+
+void
+MetricsRegistry::remove(const Token &token)
+{
+    auto it = entries_.find(token.name);
+    if (it != entries_.end() && it->second.serial == token.serial)
+        entries_.erase(it);
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    for (const auto &[name, entry] : entries_) {
+        switch (entry.kind) {
+          case Entry::Kind::Counter:
+            snap.scalars.push_back({name, entry.counter->value()});
+            break;
+          case Entry::Kind::Value:
+            snap.scalars.push_back({name, entry.fn()});
+            break;
+          case Entry::Kind::Dist: {
+            const Distribution &d = *entry.dist;
+            MetricsSnapshot::Dist out;
+            out.name = name;
+            out.count = d.count();
+            out.sum = d.sum();
+            out.mean = d.mean();
+            out.min = d.min();
+            out.max = d.max();
+            out.p50 = d.percentile(50);
+            out.p95 = d.percentile(95);
+            out.p99 = d.percentile(99);
+            snap.dists.push_back(std::move(out));
+            break;
+          }
+        }
+    }
+    // entries_ is an ordered map, so both vectors come out name-sorted.
+    return snap;
+}
+
+MetricsSnapshot
+MetricsRegistry::delta(const MetricsSnapshot &later,
+                       const MetricsSnapshot &earlier)
+{
+    MetricsSnapshot out;
+    out.scalars.reserve(later.scalars.size());
+    for (const auto &s : later.scalars) {
+        const auto *prev = earlier.findScalar(s.name);
+        const std::uint64_t before = prev ? prev->value : 0;
+        out.scalars.push_back(
+            {s.name, s.value >= before ? s.value - before : 0});
+    }
+    out.dists = later.dists;
+    return out;
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    writeJson(os, snapshot());
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os, const MetricsSnapshot &snap)
+{
+    os << "{\n  \"scalars\": {";
+    bool first = true;
+    for (const auto &s : snap.scalars) {
+        os << (first ? "\n    " : ",\n    ");
+        first = false;
+        writeJsonString(os, s.name);
+        os << ": " << s.value;
+    }
+    os << (first ? "},\n" : "\n  },\n");
+
+    os << "  \"distributions\": {";
+    first = true;
+    for (const auto &d : snap.dists) {
+        os << (first ? "\n    " : ",\n    ");
+        first = false;
+        writeJsonString(os, d.name);
+        os << ": {\"count\": " << d.count << ", \"sum\": ";
+        writeJsonDouble(os, d.sum);
+        os << ", \"mean\": ";
+        writeJsonDouble(os, d.mean);
+        os << ", \"min\": ";
+        writeJsonDouble(os, d.min);
+        os << ", \"max\": ";
+        writeJsonDouble(os, d.max);
+        os << ", \"p50\": ";
+        writeJsonDouble(os, d.p50);
+        os << ", \"p95\": ";
+        writeJsonDouble(os, d.p95);
+        os << ", \"p99\": ";
+        writeJsonDouble(os, d.p99);
+        os << '}';
+    }
+    os << (first ? "}\n" : "\n  }\n");
+    os << "}\n";
+}
+
+} // namespace babol::obs

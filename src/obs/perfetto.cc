@@ -1,0 +1,131 @@
+#include "perfetto.hh"
+
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <set>
+#include <unordered_map>
+
+namespace babol::obs {
+
+namespace {
+
+void
+writeEscaped(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\' << c;
+        else if (static_cast<unsigned char>(c) < 0x20)
+            os << ' ';
+        else
+            os << c;
+    }
+    os << '"';
+}
+
+/** Picoseconds as fractional microseconds, exactly representable text. */
+void
+writeUs(std::ostream &os, Tick ps)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%llu.%06llu",
+                  static_cast<unsigned long long>(ps / 1000000),
+                  static_cast<unsigned long long>(ps % 1000000));
+    os << buf;
+}
+
+struct EventOut
+{
+    const char *ph;
+    std::uint32_t track;
+    std::uint32_t label;
+    Tick t0;
+    Tick dur;
+    SpanId span;
+    SpanId parent;
+    std::uint64_t arg;
+};
+
+void
+writeEvent(std::ostream &os, const Interner &in, const EventOut &ev,
+           bool &first)
+{
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    os << "{\"name\": ";
+    writeEscaped(os, in.label(ev.label));
+    os << ", \"cat\": \"babol\", \"ph\": \"" << ev.ph << "\", \"ts\": ";
+    writeUs(os, ev.t0);
+    if (ev.ph[0] == 'X') {
+        os << ", \"dur\": ";
+        writeUs(os, ev.dur);
+    } else {
+        os << ", \"s\": \"t\"";
+    }
+    os << ", \"pid\": 1, \"tid\": " << (ev.track + 1)
+       << ", \"args\": {\"span\": " << ev.span << ", \"parent\": "
+       << ev.parent << ", \"arg\": " << ev.arg << "}}";
+}
+
+} // namespace
+
+void
+writePerfettoJson(std::ostream &os, const TraceRecorder &rec)
+{
+    const Interner &in = rec.interner();
+
+    // Pass 1: which tracks appear, and where does each Begin pair up.
+    std::set<std::uint32_t> tracks;
+    std::unordered_map<SpanId, Tick> ends;
+    rec.forEach([&](std::uint64_t, const TraceRecord &r) {
+        if (r.kind == RecKind::End)
+            ends.emplace(r.span, r.t0);
+        else
+            tracks.insert(r.track);
+    });
+
+    os << "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [";
+    bool first = true;
+
+    // Thread metadata: one named row per track.
+    for (std::uint32_t track : tracks) {
+        os << (first ? "\n    " : ",\n    ");
+        first = false;
+        os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+              "\"tid\": "
+           << (track + 1) << ", \"args\": {\"name\": ";
+        writeEscaped(os, in.label(track));
+        os << "}}";
+    }
+
+    rec.forEach([&](std::uint64_t, const TraceRecord &r) {
+        EventOut ev{"X",    r.track, r.label, r.t0,
+                    0,      r.span,  r.parent, r.arg};
+        switch (r.kind) {
+          case RecKind::Complete:
+            ev.dur = r.t1 >= r.t0 ? r.t1 - r.t0 : 0;
+            break;
+          case RecKind::Begin: {
+            auto it = ends.find(r.span);
+            if (it == ends.end()) {
+                ev.ph = "i"; // still open: degrade to an instant
+            } else {
+                ev.dur = it->second >= r.t0 ? it->second - r.t0 : 0;
+            }
+            break;
+          }
+          case RecKind::End:
+            return; // folded into its Begin
+          case RecKind::Instant:
+            ev.ph = "i";
+            break;
+        }
+        writeEvent(os, in, ev, first);
+    });
+
+    os << (first ? "]\n" : "\n  ]\n") << "}\n";
+}
+
+} // namespace babol::obs

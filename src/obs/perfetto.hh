@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Perfetto / Chrome trace_event JSON exporter for the trace recorder.
+ *
+ * Emits the "JSON Array Format" object ({"traceEvents": [...]}) that
+ * both chrome://tracing and ui.perfetto.dev load directly. Tracks map
+ * to threads of one synthetic process; Complete records become "X"
+ * events, Begin/End pairs are folded into "X" events at export time
+ * (exact durations, no b/e nesting ambiguity), and unmatched Begins —
+ * spans still open when the run stopped or whose End fell off the ring
+ * — degrade to "i" instants so nothing is silently dropped.
+ *
+ * Timestamps: trace_event wants microseconds; ticks are picoseconds, so
+ * ts/dur are emitted as fractional µs with ps resolution preserved.
+ */
+
+#ifndef BABOL_OBS_PERFETTO_HH
+#define BABOL_OBS_PERFETTO_HH
+
+#include <iosfwd>
+
+#include "recorder.hh"
+
+namespace babol::obs {
+
+void writePerfettoJson(std::ostream &os, const TraceRecorder &rec);
+
+} // namespace babol::obs
+
+#endif // BABOL_OBS_PERFETTO_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Span identity for cross-layer request tracing.
+ *
+ * A span is one timed stage of a request's life (host IO, FTL mapping,
+ * controller op, bus segment, LUN busy period). Spans form a tree: each
+ * carries the id of its parent, and the root is the host command the
+ * HIC minted a context for. The ids are plain 64-bit integers so a
+ * TraceContext can ride inside FlashRequest / Transaction / Segment by
+ * value with zero allocation and trivial copies.
+ */
+
+#ifndef BABOL_OBS_SPAN_HH
+#define BABOL_OBS_SPAN_HH
+
+#include <cstdint>
+
+namespace babol::obs {
+
+/** Unique id of one span; 0 means "no span" everywhere. */
+using SpanId = std::uint64_t;
+
+constexpr SpanId kNoSpan = 0;
+
+/**
+ * The context threaded through the stack alongside a request. Today it
+ * is just the enclosing span; it stays a struct so later PRs can add
+ * sampling flags or a trace id without touching every carrier again.
+ */
+struct TraceContext
+{
+    SpanId span = kNoSpan;
+
+    bool valid() const { return span != kNoSpan; }
+};
+
+} // namespace babol::obs
+
+#endif // BABOL_OBS_SPAN_HH
