@@ -113,7 +113,7 @@ mixedWorkload(const std::string &task_policy,
     babol_assert(done == 96, "mixed workload incomplete");
 
     MixedResult out;
-    out.readP99Us = read_lat.percentile(99);
+    out.readP99Us = read_lat.histPercentile(99);
     out.totalMBps = bandwidthMBps(bytes, eq.now() - t0);
     return out;
 }

@@ -16,6 +16,7 @@
 #include <iostream>
 
 #include "bench_common.hh"
+#include "obs/cli.hh"
 
 using namespace babol;
 using namespace babol::bench;
@@ -43,12 +44,16 @@ int
 main(int argc, char **argv)
 {
     bool quick = false, csv = false;
+    obs::cli::Options obs_opts;
     for (int i = 1; i < argc; ++i) {
+        if (obs_opts.parse(argc, argv, i))
+            continue;
         if (std::string(argv[i]) == "--quick")
             quick = true;
         if (std::string(argv[i]) == "--csv")
             csv = true;
     }
+    obs_opts.applyStartup();
 
     std::cout << "FIGURE 10: CHANNEL READ THROUGHPUT (MB/s)\n"
               << "'*' marks the 150 MHz soft-core; 'hw' is the "
@@ -106,5 +111,5 @@ main(int argc, char **argv)
                  "frequency rises;\nRTOS is viable from ~200 MHz while "
                  "coroutines want a fast core; throughput\ngrows with "
                  "LUNs until the channel saturates.\n";
-    return 0;
+    return obs_opts.finalize();
 }

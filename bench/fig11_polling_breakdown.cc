@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "bench_common.hh"
+#include "obs/cli.hh"
 
 using namespace babol;
 using namespace babol::bench;
@@ -106,8 +107,16 @@ measure(const std::string &flavor)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::cli::Options obs_opts;
+    for (int i = 1; i < argc; ++i) {
+        if (!obs_opts.parse(argc, argv, i))
+            fatal("usage: fig11_polling_breakdown %s",
+                  obs::cli::Options::usage());
+    }
+    obs_opts.applyStartup();
+
     std::cout << "FIGURE 11: READ OPERATION TIMELINE, RTOS vs COROUTINE "
                  "(1 GHz ARM, 1 LUN)\n\n";
 
@@ -139,5 +148,5 @@ main()
               << rtos.timeline;
     std::cout << "\n--- Logic-analyzer view (Coroutine) ---\n"
               << coro.timeline;
-    return 0;
+    return obs_opts.finalize();
 }

@@ -15,6 +15,7 @@
 #include "bench_common.hh"
 #include "ftl/ftl.hh"
 #include "host/fio.hh"
+#include "obs/cli.hh"
 
 using namespace babol;
 using namespace babol::bench;
@@ -73,12 +74,16 @@ int
 main(int argc, char **argv)
 {
     bool quick = false, csv = false;
+    obs::cli::Options obs_opts;
     for (int i = 1; i < argc; ++i) {
+        if (obs_opts.parse(argc, argv, i))
+            continue;
         if (std::string(argv[i]) == "--quick")
             quick = true;
         if (std::string(argv[i]) == "--csv")
             csv = true;
     }
+    obs_opts.applyStartup();
 
     std::cout << "FIGURE 12: END-TO-END SSD READ BANDWIDTH (MB/s)\n"
               << "Hynix packages, 200 MT/s channel, fio-style workloads, "
@@ -128,5 +133,5 @@ main(int argc, char **argv)
     std::cout << "Paper anchors @8 ways: RTOS within ~2% (seq) / ~3% "
                  "(random) of the baseline;\ncoroutines within ~8% / "
                  "~9%.\n";
-    return 0;
+    return obs_opts.finalize();
 }

@@ -11,11 +11,12 @@
  * per-component statistics.
  *
  *   $ ./examples/full_device [coro|rtos|hw] [--trace-out t.json]
- *                            [--metrics-out m.json]
+ *                            [--metrics-out m.json] [--audit[=report]]
  *
  * --trace-out writes a Chrome trace_event JSON of the workload (load
  * it at ui.perfetto.dev); --metrics-out dumps the central metrics
- * registry.
+ * registry; --audit arms the online ONFI conformance auditor and
+ * reports its findings at exit (non-zero status on any diagnostic).
  */
 
 #include <cstdio>
@@ -23,6 +24,7 @@
 #include <fstream>
 
 #include "host/hic.hh"
+#include "obs/cli.hh"
 #include "obs/perfetto.hh"
 #include "sim/random.hh"
 #include "ssd/ssd.hh"
@@ -33,18 +35,17 @@ int
 main(int argc, char **argv)
 {
     std::string flavor = "coro";
-    std::string trace_out, metrics_out;
+    obs::cli::Options obs_opts;
     for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc)
-            trace_out = argv[++i];
-        else if (!std::strcmp(argv[i], "--metrics-out") && i + 1 < argc)
-            metrics_out = argv[++i];
-        else if (argv[i][0] != '-')
+        if (obs_opts.parse(argc, argv, i))
+            continue;
+        if (argv[i][0] != '-')
             flavor = argv[i];
         else
-            fatal("usage: full_device [coro|rtos|hw] [--trace-out FILE] "
-                  "[--metrics-out FILE]");
+            fatal("usage: full_device [coro|rtos|hw] %s",
+                  obs::cli::Options::usage());
     }
+    obs_opts.applyStartup();
 
     EventQueue eq;
     ssd::SsdConfig cfg;
@@ -69,7 +70,7 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(hic.totalSectors()),
                 hic.sectorBytes());
 
-    if (!trace_out.empty())
+    if (!obs_opts.traceOut.empty())
         obs::trace().setEnabled(true);
 
     // A mixed host workload: large aligned writes, small misaligned
@@ -162,28 +163,14 @@ main(int argc, char **argv)
                     device.controller(ch).flavorName(),
                     device.controller(ch).latencyUs().mean());
     }
-    if (!trace_out.empty()) {
-        std::ofstream out(trace_out);
-        if (!out)
-            fatal("cannot open %s", trace_out.c_str());
-        obs::writePerfettoJson(out, obs::trace());
-        std::printf("wrote %llu trace records to %s\n",
-                    static_cast<unsigned long long>(obs::trace().size()),
-                    trace_out.c_str());
-    }
-    if (!metrics_out.empty()) {
-        obs::MetricsGroup kernel(obs::metrics(), "kernel");
-        obs::registerEventQueueMetrics(kernel, eq);
-        std::ofstream out(metrics_out);
-        if (!out)
-            fatal("cannot open %s", metrics_out.c_str());
-        obs::metrics().writeJson(out);
-        std::printf("wrote metrics to %s\n", metrics_out.c_str());
-    }
+    obs_opts.captureMetrics(eq);
+    int obs_status = obs_opts.finalize();
 
     std::printf("\ndevice time: %.1f ms; data integrity %s\n",
                 ticks::toMs(eq.now()),
                 verify_errors == 0 && failures == 0 ? "VERIFIED"
                                                     : "BROKEN");
-    return verify_errors == 0 && failures == 0 ? 0 : 1;
+    if (verify_errors != 0 || failures != 0)
+        return 1;
+    return obs_status;
 }

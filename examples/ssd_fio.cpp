@@ -6,11 +6,13 @@
  * bandwidth and latency percentiles for a chosen controller flavour.
  *
  *   $ ./examples/ssd_fio [coro|rtos|hw] [--trace-out t.json]
- *                        [--metrics-out m.json]
+ *                        [--metrics-out m.json] [--audit[=report]]
  *
  * --trace-out writes a Chrome trace_event JSON of the measured READ
  * phases (load it at ui.perfetto.dev); --metrics-out dumps the
- * central metrics registry.
+ * central metrics registry; --audit arms the online ONFI conformance
+ * auditor and reports its findings at exit (non-zero status on any
+ * diagnostic).
  */
 
 #include <cstdio>
@@ -22,6 +24,7 @@
 #include "core/rtos_env/rtos_controller.hh"
 #include "ftl/ftl.hh"
 #include "host/fio.hh"
+#include "obs/cli.hh"
 #include "obs/perfetto.hh"
 
 using namespace babol;
@@ -31,18 +34,17 @@ int
 main(int argc, char **argv)
 {
     std::string flavor = "coro";
-    std::string trace_out, metrics_out;
+    obs::cli::Options obs_opts;
     for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc)
-            trace_out = argv[++i];
-        else if (!std::strcmp(argv[i], "--metrics-out") && i + 1 < argc)
-            metrics_out = argv[++i];
-        else if (argv[i][0] != '-')
+        if (obs_opts.parse(argc, argv, i))
+            continue;
+        if (argv[i][0] != '-')
             flavor = argv[i];
         else
-            fatal("usage: ssd_fio [coro|rtos|hw] [--trace-out FILE] "
-                  "[--metrics-out FILE]");
+            fatal("usage: ssd_fio [coro|rtos|hw] %s",
+                  obs::cli::Options::usage());
     }
+    obs_opts.applyStartup();
 
     EventQueue eq;
     ChannelConfig cfg;
@@ -87,10 +89,11 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(extent),
                 ticks::toMs(filler.elapsed()), filler.bandwidthMBps());
 
-    // Trace only the measured READ phases; the fill would just push
-    // them out of the ring.
-    if (!trace_out.empty())
-        obs::trace().setEnabled(true);
+    // Trace only the measured READ phases; the fill's records would
+    // just push them out of the ring (and defeat the auditor's
+    // conservation pass, which needs an unwrapped window).
+    if (obs::trace().enabled())
+        obs::trace().clear();
 
     for (bool random_pattern : {false, true}) {
         host::FioConfig io;
@@ -116,26 +119,10 @@ main(int argc, char **argv)
                     engine.latencyUs().percentile(99));
     }
 
-    if (!trace_out.empty()) {
-        std::ofstream out(trace_out);
-        if (!out)
-            fatal("cannot open %s", trace_out.c_str());
-        obs::writePerfettoJson(out, obs::trace());
-        std::printf("\nwrote %llu trace records to %s\n",
-                    static_cast<unsigned long long>(obs::trace().size()),
-                    trace_out.c_str());
-    }
-    if (!metrics_out.empty()) {
-        obs::MetricsGroup kernel(obs::metrics(), "kernel");
-        obs::registerEventQueueMetrics(kernel, eq);
-        std::ofstream out(metrics_out);
-        if (!out)
-            fatal("cannot open %s", metrics_out.c_str());
-        obs::metrics().writeJson(out);
-        std::printf("wrote metrics to %s\n", metrics_out.c_str());
-    }
+    obs_opts.captureMetrics(eq);
+    int status = obs_opts.finalize();
 
     std::printf("\nRun with 'rtos' or 'hw' to compare flavours on the "
                 "identical workload.\n");
-    return 0;
+    return status;
 }

@@ -25,6 +25,20 @@ if [[ "$MODE" != "--asan-only" ]]; then
     run_suite "$ROOT/build"
 fi
 
+# ONFI conformance audit: the whole suite and the figure benches run
+# with the online auditor armed as a sanitizer (BABOL_AUDIT=1 panics on
+# the first diagnostic), plus one collector-mode (--audit) pass whose
+# exit status covers the end-of-run conservation checks.
+if [[ "$MODE" != "--asan-only" ]]; then
+    echo "=== tier-1: ONFI conformance audit (BABOL_AUDIT=1) ==="
+    BABOL_AUDIT=1 ctest --test-dir "$ROOT/build" --output-on-failure \
+        -j"$JOBS"
+    BABOL_AUDIT=1 "$ROOT/build/bench/fig10_sw_overhead" --quick >/dev/null
+    BABOL_AUDIT=1 "$ROOT/build/bench/fig11_polling_breakdown" >/dev/null
+    BABOL_AUDIT=1 "$ROOT/build/bench/fig12_end_to_end" --quick >/dev/null
+    "$ROOT/build/examples/ssd_fio" coro --audit | tail -3
+fi
+
 if [[ "$MODE" != "--plain-only" ]]; then
     echo "=== tier-1: ASan + UBSan ==="
     run_suite "$ROOT/build-asan" -DBABOL_SANITIZE=ON

@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "obs/audit/auditor.hh"
+
 namespace babol::chan {
 
 ChannelBus::ChannelBus(EventQueue &eq, const std::string &name,
@@ -98,16 +100,36 @@ ChannelBus::checkModeMatch(std::uint32_t ce_mask) const
 void
 ChannelBus::issue(Segment seg, std::function<void(SegmentResult)> done)
 {
+    auto &aud = obs::audit::auditor();
+    const bool auditing = aud.armed();
+
     if (busy()) {
-        panic("%s: segment '%s' issued while bus busy until %.3f us "
-              "(double-drive — transaction atomicity violated)",
-              name().c_str(), seg.label.c_str(),
-              ticks::toUs(busyUntil_));
+        if (auditing) {
+            aud.report(obs::audit::Check::Channel, "chan.double-drive",
+                       name(), curTick(),
+                       strfmt("segment '%s' issued while bus busy until "
+                              "%.3f us (transaction atomicity violated)",
+                              seg.label.c_str(), ticks::toUs(busyUntil_)));
+        } else {
+            panic("%s: segment '%s' issued while bus busy until %.3f us "
+                  "(double-drive — transaction atomicity violated)",
+                  name().c_str(), seg.label.c_str(),
+                  ticks::toUs(busyUntil_));
+        }
     }
 
     const Tick start = curTick();
     Tick offset = phy_.ceSetup();
     auto result = std::make_shared<SegmentResult>();
+
+    obs::audit::SegmentView view;
+    if (auditing) {
+        view.channel = name();
+        view.label = seg.label;
+        view.ceMask = seg.ceMask;
+        view.timing = &phy_.timing();
+        view.cycles.reserve(seg.items.size());
+    }
 
     // Event closures capture only the CE mask (not the whole Segment) so
     // every per-cycle callback stays on the kernel's inline path.
@@ -126,6 +148,14 @@ ChannelBus::issue(Segment seg, std::function<void(SegmentResult)> done)
         switch (item.type) {
           case nand::CycleType::CmdLatch:
             for (std::uint8_t cmd : item.out) {
+                if (auditing) {
+                    obs::audit::CycleView c;
+                    c.type = nand::CycleType::CmdLatch;
+                    c.value = cmd;
+                    c.start = start + offset;
+                    c.end = c.dataEnd = c.start + phy_.commandCycle();
+                    view.cycles.push_back(c);
+                }
                 offset += phy_.commandCycle();
                 eq_.schedule(start + offset, [this, mask, cmd, ctx] {
                     obs::Hub::ScopedCtx scope(ctx);
@@ -136,8 +166,17 @@ ChannelBus::issue(Segment seg, std::function<void(SegmentResult)> done)
             break;
           case nand::CycleType::AddrLatch:
             for (std::uint8_t byte : item.out) {
+                if (auditing) {
+                    obs::audit::CycleView c;
+                    c.type = nand::CycleType::AddrLatch;
+                    c.value = byte;
+                    c.start = start + offset;
+                    c.end = c.dataEnd = c.start + phy_.addressCycle();
+                    view.cycles.push_back(c);
+                }
                 offset += phy_.addressCycle();
-                eq_.schedule(start + offset, [this, mask, byte] {
+                eq_.schedule(start + offset, [this, mask, byte, ctx] {
+                    obs::Hub::ScopedCtx scope(ctx);
                     for (nand::Package *pkg : selected(mask))
                         pkg->addressLatch(byte);
                 }, "addr latch");
@@ -148,13 +187,22 @@ ChannelBus::issue(Segment seg, std::function<void(SegmentResult)> done)
             const Tick dur = phy_.dataBurst(item.out.size());
             offset += dur;
             dataBytesIn_ += item.out.size();
+            if (auditing) {
+                obs::audit::CycleView c;
+                c.type = nand::CycleType::DataIn;
+                c.bytes = static_cast<std::uint32_t>(item.out.size());
+                c.start = burst_start;
+                c.end = c.dataEnd = burst_start + dur;
+                view.cycles.push_back(c);
+            }
             auto bytes = std::make_shared<std::vector<std::uint8_t>>(
                 item.out);
             eq_.schedule(burst_start, [this, mask] {
                 checkModeMatch(mask);
             }, "data-in mode check");
             eq_.schedule(burst_start + dur,
-                         [this, mask, bytes, burst_start] {
+                         [this, mask, bytes, burst_start, ctx] {
+                obs::Hub::ScopedCtx scope(ctx);
                 for (nand::Package *pkg : selected(mask))
                     pkg->dataIn(*bytes, burst_start);
             }, "data-in burst");
@@ -165,15 +213,40 @@ ChannelBus::issue(Segment seg, std::function<void(SegmentResult)> done)
             const Tick dur = phy_.dataBurst(item.inCount);
             offset += dur;
             dataBytesOut_ += item.inCount;
+            if (auditing) {
+                obs::audit::CycleView c;
+                c.type = nand::CycleType::DataOut;
+                c.bytes = item.inCount;
+                c.start = burst_start;
+                c.end = burst_start + dur;
+                c.dataEnd = c.end - phy_.burstPostamble();
+                view.cycles.push_back(c);
+            }
             const std::uint32_t count = item.inCount;
             eq_.schedule(burst_start, [this, mask, result, count,
-                                       burst_start] {
+                                       burst_start, ctx] {
+                obs::Hub::ScopedCtx scope(ctx);
                 checkModeMatch(mask);
                 std::vector<nand::Package *> pkgs = selected(mask);
                 if (pkgs.size() != 1) {
-                    panic("%s: data-out with %zu chips enabled "
-                          "(ceMask 0x%x)",
-                          name().c_str(), pkgs.size(), mask);
+                    auto &a = obs::audit::auditor();
+                    if (a.armed()) {
+                        a.report(obs::audit::Check::Channel,
+                                 "chan.ce-overlap", name(), curTick(),
+                                 strfmt("data-out with %zu chips enabled "
+                                        "(ceMask 0x%x)",
+                                        pkgs.size(), mask));
+                    } else {
+                        panic("%s: data-out with %zu chips enabled "
+                              "(ceMask 0x%x)",
+                              name().c_str(), pkgs.size(), mask);
+                    }
+                    if (pkgs.empty()) {
+                        // Nothing drives DQ: the capture reads back 0s.
+                        result->dataOut.resize(result->dataOut.size() +
+                                               count);
+                        return;
+                    }
                 }
                 std::size_t base = result->dataOut.size();
                 result->dataOut.resize(base + count);
@@ -204,6 +277,14 @@ ChannelBus::issue(Segment seg, std::function<void(SegmentResult)> done)
 
     trace_.record(start, busyUntil_, seg.ceMask, seg.label, seg.ctx.span,
                   seg_span);
+
+    if (auditing) {
+        view.start = start;
+        view.end = busyUntil_;
+        view.span = seg_span;
+        view.parent = seg.ctx.span;
+        aud.tapSegment(view);
+    }
 
     eq_.schedule(busyUntil_, [result, done = std::move(done)] {
         done(std::move(*result));

@@ -38,6 +38,12 @@ class Phy
     std::uint32_t rateMT() const { return rateMT_; }
     void setRateMT(std::uint32_t mt) { rateMT_ = mt; }
 
+    /** Cycle-level timing parameters the PHY was configured with. */
+    const nand::TimingParams &timing() const { return timing_; }
+
+    /** Strobe postamble folded into the tail of every data burst. */
+    Tick burstPostamble() const { return kBurstFixed; }
+
     /** Duration of one command-latch cycle. */
     Tick
     commandCycle() const

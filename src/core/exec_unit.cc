@@ -1,5 +1,7 @@
 #include "exec_unit.hh"
 
+#include "obs/audit/auditor.hh"
+
 namespace babol::core {
 
 ExecUnit::ExecUnit(EventQueue &eq, const std::string &name,
@@ -22,7 +24,7 @@ ExecUnit::push(Transaction txn)
               "hasSpace)",
               name().c_str());
     }
-    fifo_.push_back(std::move(txn));
+    fifo_.push_back(Pending{std::move(txn), curTick()});
     tryIssue();
 }
 
@@ -33,8 +35,15 @@ ExecUnit::tryIssue()
         return;
 
     issuing_ = true;
-    Transaction txn = std::move(fifo_.front());
+    Pending pending = std::move(fifo_.front());
     fifo_.pop_front();
+    Transaction txn = std::move(pending.txn);
+
+    auto &aud = obs::audit::auditor();
+    if (aud.armed()) {
+        aud.tapFifoWait(name(), txn.label, curTick(),
+                        curTick() - pending.enqueuedAt);
+    }
 
     BuiltSegment built = ufsms_.emit(txn);
     dtrace("Exec", "%s: issue '%s' @%0.3f us", name().c_str(),

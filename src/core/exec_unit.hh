@@ -73,8 +73,16 @@ class ExecUnit : public SimObject
     chan::ChannelBus &bus_;
     Packetizer &packetizer_;
     UfsmBank ufsms_;
+    /** FIFO entry: the transaction plus its arrival tick, so the pop
+     *  path can report queueing delay to the conformance auditor. */
+    struct Pending
+    {
+        Transaction txn;
+        Tick enqueuedAt = 0;
+    };
+
     std::uint32_t fifoDepth_;
-    std::deque<Transaction> fifo_;
+    std::deque<Pending> fifo_;
     bool issuing_ = false;
     std::function<void()> spaceCallback_;
     std::function<obs::SpanId(std::uint32_t)> ctxResolver_;

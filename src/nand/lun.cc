@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/audit/auditor.hh"
 #include "param_page.hh"
 
 namespace babol::nand {
@@ -102,16 +103,41 @@ Lun::outputActive() const
 // ---------------------------------------------------------------------
 
 void
+Lun::violation(const char *rule, std::string msg) const
+{
+    auto &aud = obs::audit::auditor();
+    if (aud.armed()) {
+        aud.report(obs::audit::Check::LunProtocol, rule, name(), curTick(),
+                   std::move(msg));
+        return;
+    }
+    panic("%s: %s", name().c_str(), msg.c_str());
+}
+
+void
+Lun::auditOpFloor(const char *rule, Tick dur, Tick floor) const
+{
+    auto &aud = obs::audit::auditor();
+    if (!aud.armed() || dur >= floor)
+        return;
+    aud.report(obs::audit::Check::AcTiming, rule, name(), curTick(),
+               strfmt("array op scheduled to complete in %.1f us, below "
+                      "the %.1f us floor",
+                      ticks::toUs(dur), ticks::toUs(floor)));
+}
+
+void
 Lun::requireIdleFor(std::uint8_t cmd) const
 {
     // On a single-LUN package any non-status command to a busy die is a
     // controller bug. With several dies behind one CE, a busy die also
     // observes its siblings' dialogs and must track (but ignore) them —
-    // an operation that ultimately *addresses* the busy die still
-    // panics in startArrayOp.
+    // an operation that ultimately *addresses* the busy die is still
+    // caught in startArrayOp.
     if (!rdy_ && cfg_.geometry.lunsPerPackage == 1) {
-        panic("%s: command 0x%02x latched while LUN busy (%s)",
-              name().c_str(), cmd, toString(busyOp_));
+        violation("lun.busy",
+                  strfmt("command 0x%02x latched while LUN busy (%s)", cmd,
+                         toString(busyOp_)));
     }
 }
 
@@ -562,10 +588,10 @@ void
 Lun::dataIn(std::span<const std::uint8_t> bytes, Tick burst_start)
 {
     if (burst_start < earliestDataIn_) {
-        panic("%s: data-in burst starts %.1f ns early (tADL/tCCS "
-              "violation)",
-              name().c_str(),
-              ticks::toNs(earliestDataIn_ - burst_start));
+        violation("onfi.tADL",
+                  strfmt("data-in burst starts %.1f ns early (tADL/tCCS "
+                         "violation)",
+                         ticks::toNs(earliestDataIn_ - burst_start)));
     }
 
     if (decode_ == Decode::FeatDataIn) {
@@ -633,25 +659,25 @@ Lun::dataOut(std::span<std::uint8_t> out, Tick burst_start)
     // array-op completion are not judged by the data-path guards.
     if (statusMode_) {
         if (burst_start < earliestStatusOut_) {
-            panic("%s: status output starts %.1f ns early (tWHR "
-                  "violation)",
-                  name().c_str(),
-                  ticks::toNs(earliestStatusOut_ - burst_start));
+            violation("onfi.tWHR",
+                      strfmt("status output starts %.1f ns early (tWHR "
+                             "violation)",
+                             ticks::toNs(earliestStatusOut_ - burst_start)));
         }
         std::fill(out.begin(), out.end(), statusByte());
         return;
     }
 
     if (burst_start < earliestDataOut_) {
-        panic("%s: data-out burst starts %.1f ns early (tWHR/tCCS "
-              "violation)",
-              name().c_str(),
-              ticks::toNs(earliestDataOut_ - burst_start));
+        violation("onfi.tWHR",
+                  strfmt("data-out burst starts %.1f ns early (tWHR/tCCS "
+                         "violation)",
+                         ticks::toNs(earliestDataOut_ - burst_start)));
     }
     if (output_ == Output::Register && burst_start < registerReadyAt_) {
-        panic("%s: register read starts %.1f ns before tRR elapsed",
-              name().c_str(),
-              ticks::toNs(registerReadyAt_ - burst_start));
+        violation("onfi.tRR",
+                  strfmt("register read starts %.1f ns before tRR elapsed",
+                         ticks::toNs(registerReadyAt_ - burst_start)));
     }
 
     // 00h with no address re-enables the previous output source after a
@@ -722,8 +748,12 @@ void
 Lun::startArrayOp(ArrayOp op, Tick duration, std::function<void()> done)
 {
     if (!rdy_) {
-        panic("%s: %s addressed to a busy LUN (still %s)", name().c_str(),
-              toString(op), toString(busyOp_));
+        violation("lun.busy",
+                  strfmt("%s addressed to a busy LUN (still %s)",
+                         toString(op), toString(busyOp_)));
+        // In collector mode the new op is dropped: the die is still
+        // working and its busy bookkeeping must not be clobbered.
+        return;
     }
     rdy_ = false;
     ardy_ = false;
@@ -798,8 +828,17 @@ Lun::startRead(std::vector<RowAddress> rows)
     slcPrefixArmed_ = false;
 
     Tick dur = 0;
-    for (const RowAddress &row : rows)
+    Tick floor = kMaxTick;
+    for (const RowAddress &row : rows) {
         dur = std::max(dur, actualReadTime(row));
+        // Lowest value actualReadTime can return for this row (the tR
+        // jitter factor is clamped at 0.7).
+        Tick base = cfg_.timing.tR;
+        if (array_.isSlcBlock(row.block))
+            base = static_cast<Tick>(base * cfg_.timing.slcReadFactor);
+        floor = std::min(floor, static_cast<Tick>(base * 0.7));
+    }
+    auditOpFloor("onfi.tR-floor", dur, floor);
 
     std::uint32_t col = pendingColumn_;
     startArrayOp(ArrayOp::Read, dur, [this, rows, col] {
@@ -901,6 +940,7 @@ Lun::startProgram(bool cache_mode)
         // Wait out any background cache program still in flight, then
         // program all queued planes in parallel.
         Tick wait = bgUntil_ > curTick() ? bgUntil_ - curTick() : 0;
+        auditOpFloor("onfi.tPROG-floor", wait + prog, prog);
         startArrayOp(ArrayOp::Program, wait + prog, [this, rows] {
             if (bgCompletion_) {
                 auto bg = std::move(bgCompletion_);
@@ -980,6 +1020,10 @@ Lun::startErase()
     Tick dur = cfg_.timing.tBers;
     if (slc_mode)
         dur = static_cast<Tick>(dur * cfg_.timing.slcEraseFactor);
+    auditOpFloor("onfi.tBERS-floor", dur,
+                 slc_mode ? static_cast<Tick>(cfg_.timing.tBers *
+                                              cfg_.timing.slcEraseFactor)
+                          : cfg_.timing.tBers);
 
     startArrayOp(ArrayOp::Erase, dur, [this, blocks, slc_mode] {
         for (std::uint32_t block : blocks) {

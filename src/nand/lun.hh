@@ -212,6 +212,15 @@ class Lun : public SimObject
 
     // Timing-guard plumbing.
     void requireIdleFor(std::uint8_t cmd) const;
+
+    /** A protocol/timing guard tripped: hand the structured diagnostic
+     *  to the online auditor when it is armed, else panic (the legacy
+     *  sanitizer behaviour). */
+    void violation(const char *rule, std::string msg) const;
+
+    /** Report (when auditing) an array op scheduled to complete before
+     *  @p floor — a tripwire for duration-computation regressions. */
+    void auditOpFloor(const char *rule, Tick dur, Tick floor) const;
     void guardDataOutAt(Tick t) { earliestDataOut_ = std::max(earliestDataOut_, t); }
     void guardStatusOutAt(Tick t) { earliestStatusOut_ = std::max(earliestStatusOut_, t); }
     void guardDataInAt(Tick t) { earliestDataIn_ = std::max(earliestDataIn_, t); }

@@ -38,6 +38,7 @@ baseTiming()
     t.tCcs = 300_ns;
     t.tAdl = 300_ns;
     t.tRr = 20_ns;
+    t.tRhw = 100_ns;
     t.tCbsyR = 3_us;
     t.tCbsyW = 30_us;
 

@@ -46,6 +46,7 @@ struct TimingParams
     Tick tCcs = 0;  //!< change column setup
     Tick tAdl = 0;  //!< address cycle to data loading (SET FEATURES)
     Tick tRr = 0;   //!< ready to first read cycle
+    Tick tRhw = 0;  //!< data output to command/address cycle turnaround
     Tick tCbsyR = 0; //!< cache-read register turnaround busy time
     Tick tCbsyW = 0; //!< cache-program interface busy time
 

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Structured conformance diagnostics.
+ *
+ * A Diagnostic is the auditor's unit of output: which check family
+ * tripped, which named rule, where (component name), when (tick), under
+ * what span context, and a flight-recorder dump — the last stretch of
+ * the shared trace ring rendered logic-analyzer style — so a violation
+ * reads like the paper's Fig. 11 screenshot with the offending segment
+ * at the bottom.
+ */
+
+#ifndef BABOL_OBS_AUDIT_DIAGNOSTIC_HH
+#define BABOL_OBS_AUDIT_DIAGNOSTIC_HH
+
+#include <string>
+
+#include "obs/span.hh"
+#include "sim/types.hh"
+
+namespace babol::obs::audit {
+
+/** The four check families of the conformance auditor. */
+enum class Check : std::uint8_t {
+    AcTiming,     //!< ONFI AC timing (tWB, tWHR, tRHW, tADL, tCCS, floors)
+    LunProtocol,  //!< command legality and sequencing at the die
+    Channel,      //!< bus invariants (double-drive, CE overlap, starvation)
+    Conservation, //!< cross-layer span accounting
+};
+
+const char *toString(Check c);
+
+struct Diagnostic
+{
+    Check check = Check::AcTiming;
+    std::string rule;    //!< dotted rule name, e.g. "onfi.tWB"
+    std::string where;   //!< component that observed it ("ssd.pkg0.lun0")
+    std::string message; //!< human-readable detail
+    Tick at = 0;         //!< simulated time of the violation
+    SpanId span = kNoSpan; //!< ambient span context when it fired
+    std::string flight;    //!< flight-recorder dump (rendered timeline)
+
+    /** One-line summary (no flight dump). */
+    std::string oneLine() const;
+};
+
+} // namespace babol::obs::audit
+
+#endif // BABOL_OBS_AUDIT_DIAGNOSTIC_HH

@@ -1,0 +1,178 @@
+#include "onfi_rules.hh"
+
+#include "nand/onfi.hh"
+#include "sim/logging.hh"
+
+namespace babol::obs::audit {
+
+namespace {
+
+/** Commands whose latch starts array work — tWB applies after them.
+ *  Mirrors the μFSM confirm-command set (core/ufsm.cc). */
+bool
+isBusyStartCommand(std::uint8_t cmd)
+{
+    using namespace nand::opcode;
+    switch (cmd) {
+      case kRead2:
+      case kReadCacheSeq:
+      case kReadCacheEnd:
+      case kReadMultiPlane:
+      case kProgram2:
+      case kProgramCache:
+      case kProgramMultiPlane:
+      case kErase2:
+      case kReset:
+      case kSynchronousReset:
+      case kVendorSuspend:
+      case kVendorResume:
+      case kReadParamPage:
+      case kReadUniqueId:
+      case kGetFeatures:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+void
+AcTimingRule::onSegment(const SegmentView &seg, Auditor &aud)
+{
+    if (!seg.timing)
+        return;
+
+    // A fresh EventQueue restarts simulated time at zero; drop stale
+    // per-CE state so cross-segment gap checks never span two runs.
+    if (seg.start < lastStart_)
+        state_.clear();
+    lastStart_ = seg.start;
+
+    const nand::TimingParams &t =
+        aud.config().datasheet ? *aud.config().datasheet : *seg.timing;
+
+    auto it = state_.find(seg.channel);
+    if (it == state_.end()) {
+        it = state_.emplace(std::string(seg.channel),
+                            std::array<CeState, 32>{}).first;
+    }
+    for (std::uint32_t ce = 0; ce < 32; ++ce) {
+        if (seg.ceMask & (1u << ce))
+            checkCe(seg, ce, it->second[ce], t, aud);
+    }
+}
+
+void
+AcTimingRule::checkCe(const SegmentView &seg, std::uint32_t ce, CeState &st,
+                      const nand::TimingParams &t, Auditor &aud)
+{
+    using nand::CycleType;
+
+    // --- Cross-segment gaps: this segment's first cycle vs. the
+    //     previous busy-start / data-out on the same CE. ---
+    if (!seg.cycles.empty()) {
+        const CycleView &first = seg.cycles.front();
+        if (st.haveBusyStart && first.start < st.busyStartEnd + t.tWb) {
+            aud.report(
+                Check::AcTiming, "onfi.tWB", seg.channel, first.start,
+                strfmt("'%.*s' reaches CE%u %.1f ns after the "
+                       "busy-starting cycle; tWB requires %.1f ns",
+                       static_cast<int>(seg.label.size()), seg.label.data(),
+                       ce, ticks::toNs(first.start - st.busyStartEnd),
+                       ticks::toNs(t.tWb)));
+        }
+        if (st.haveDataOut &&
+            (first.type == CycleType::CmdLatch ||
+             first.type == CycleType::AddrLatch) &&
+            first.start < st.dataOutEnd + t.tRhw) {
+            aud.report(
+                Check::AcTiming, "onfi.tRHW", seg.channel, first.start,
+                strfmt("'%.*s' latches on CE%u %.1f ns after the last "
+                       "data-out transfer; tRHW requires %.1f ns",
+                       static_cast<int>(seg.label.size()), seg.label.data(),
+                       ce, ticks::toNs(first.start - st.dataOutEnd),
+                       ticks::toNs(t.tRhw)));
+        }
+    }
+
+    // --- In-segment gaps, mirroring the μFSM pre-delay obligations. ---
+    bool have_ca = false, ca_was_addr = false;
+    std::uint8_t ca_cmd = 0;
+    Tick ca_end = 0;
+    bool have_do = false;
+    Tick do_end = 0;
+    for (const CycleView &c : seg.cycles) {
+        switch (c.type) {
+          case CycleType::CmdLatch:
+          case CycleType::AddrLatch:
+            if (have_do && c.start < do_end + t.tRhw) {
+                aud.report(
+                    Check::AcTiming, "onfi.tRHW", seg.channel, c.start,
+                    strfmt("C/A cycle on CE%u %.1f ns after the last "
+                           "data-out transfer; tRHW requires %.1f ns",
+                           ce, ticks::toNs(c.start - do_end),
+                           ticks::toNs(t.tRhw)));
+            }
+            have_ca = true;
+            ca_end = c.end;
+            ca_was_addr = c.type == CycleType::AddrLatch;
+            if (!ca_was_addr)
+                ca_cmd = c.value;
+            break;
+          case CycleType::DataIn:
+            if (have_ca) {
+                const Tick need = ca_was_addr ? t.tAdl : t.tCcs;
+                if (c.start < ca_end + need) {
+                    aud.report(
+                        Check::AcTiming, "onfi.tADL", seg.channel, c.start,
+                        strfmt("data-in burst on CE%u %.1f ns after the "
+                               "%s cycle; %s requires %.1f ns",
+                               ce, ticks::toNs(c.start - ca_end),
+                               ca_was_addr ? "address" : "command",
+                               ca_was_addr ? "tADL" : "tCCS",
+                               ticks::toNs(need)));
+                }
+            }
+            break;
+          case CycleType::DataOut:
+            if (have_ca) {
+                const bool col_change =
+                    !ca_was_addr && ca_cmd == nand::opcode::kChangeReadCol2;
+                const Tick need = col_change ? t.tCcs : t.tWhr;
+                if (c.start < ca_end + need) {
+                    aud.report(
+                        Check::AcTiming, "onfi.tWHR", seg.channel, c.start,
+                        strfmt("data-out burst on CE%u %.1f ns after the "
+                               "last C/A cycle; %s requires %.1f ns",
+                               ce, ticks::toNs(c.start - ca_end),
+                               col_change ? "tCCS" : "tWHR",
+                               ticks::toNs(need)));
+                }
+            }
+            have_do = true;
+            do_end = c.dataEnd;
+            break;
+        }
+    }
+
+    // --- Update cross-segment state. ---
+    if (!seg.cycles.empty()) {
+        const CycleView &last = seg.cycles.back();
+        st.haveBusyStart =
+            (last.type == CycleType::CmdLatch &&
+             isBusyStartCommand(last.value)) ||
+            last.type == CycleType::DataIn;
+        if (st.haveBusyStart)
+            st.busyStartEnd = last.end;
+        if (have_do) {
+            st.haveDataOut = true;
+            st.dataOutEnd = do_end;
+        } else if (st.haveBusyStart) {
+            // Array work invalidates the read-turnaround origin.
+            st.haveDataOut = false;
+        }
+    }
+}
+
+} // namespace babol::obs::audit

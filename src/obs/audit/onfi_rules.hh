@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Built-in ONFI AC-timing rule.
+ *
+ * Validates, per channel and CE line, the category-2 timing parameters
+ * of the paper's §IV-B against the cycle-level view of every executed
+ * segment:
+ *
+ *  - tWB:  no bus activity to a CE between a busy-starting cycle (a
+ *          confirm command latch, or a segment-ending data-in burst)
+ *          and tWB later — the window in which R/B# transitions;
+ *  - tADL/tCCS: a data-in burst must not begin sooner than tADL after
+ *          an address cycle (tCCS after a command cycle);
+ *  - tWHR/tCCS: a data-out burst must not begin sooner than tWHR after
+ *          a command/address cycle (tCCS after an E0h column-change
+ *          confirm);
+ *  - tRHW: a command/address cycle must not follow the last data-out
+ *          transfer sooner than tRHW (read-to-write turnaround), both
+ *          within a segment and across consecutive segments on a CE.
+ *
+ * The thresholds come from the bus's active TimingParams, or from the
+ * Auditor::Config::datasheet override — the latter catches a package
+ * preset whose μFSM-visible timings were (mis)configured shorter than
+ * the part's datasheet allows.
+ */
+
+#ifndef BABOL_OBS_AUDIT_ONFI_RULES_HH
+#define BABOL_OBS_AUDIT_ONFI_RULES_HH
+
+#include <array>
+#include <map>
+#include <string>
+
+#include "auditor.hh"
+
+namespace babol::obs::audit {
+
+class AcTimingRule : public Rule
+{
+  public:
+    const char *name() const override { return "onfi.ac-timing"; }
+    void onSegment(const SegmentView &seg, Auditor &aud) override;
+
+  private:
+    /** Cross-segment state of one CE line. */
+    struct CeState
+    {
+        Tick busyStartEnd = 0; //!< end of the last busy-starting cycle
+        bool haveBusyStart = false;
+        Tick dataOutEnd = 0; //!< last data-out transfer end (tRHW origin)
+        bool haveDataOut = false;
+    };
+
+    void checkCe(const SegmentView &seg, std::uint32_t ce, CeState &st,
+                 const nand::TimingParams &t, Auditor &aud);
+
+    std::map<std::string, std::array<CeState, 32>, std::less<>> state_;
+    Tick lastStart_ = 0; //!< epoch guard: fresh EventQueues restart at 0
+};
+
+} // namespace babol::obs::audit
+
+#endif // BABOL_OBS_AUDIT_ONFI_RULES_HH

@@ -1,0 +1,107 @@
+#include "cli.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "audit/auditor.hh"
+#include "hub.hh"
+#include "perfetto.hh"
+#include "sim/logging.hh"
+
+namespace babol::obs::cli {
+
+const char *
+Options::usage()
+{
+    return "[--trace-out FILE] [--metrics-out FILE] [--audit[=FILE]]";
+}
+
+bool
+Options::parse(int argc, char **argv, int &i)
+{
+    const char *arg = argv[i];
+    if (!std::strcmp(arg, "--trace-out") && i + 1 < argc) {
+        traceOut = argv[++i];
+        return true;
+    }
+    if (!std::strcmp(arg, "--metrics-out") && i + 1 < argc) {
+        metricsOut = argv[++i];
+        return true;
+    }
+    if (!std::strcmp(arg, "--audit")) {
+        audit = true;
+        return true;
+    }
+    if (!std::strncmp(arg, "--audit=", 8)) {
+        audit = true;
+        auditOut = arg + 8;
+        return true;
+    }
+    return false;
+}
+
+void
+Options::applyStartup() const
+{
+    if (!traceOut.empty())
+        trace().setEnabled(true);
+    if (!audit)
+        return;
+    audit::Auditor::Config cfg;
+    cfg.throwOnDiagnostic = false; // collect; report at finalize()
+    cfg.enableTrace = true;        // flight dumps + conservation pass
+    audit::Auditor::instance().arm(cfg);
+}
+
+void
+Options::captureMetrics(const EventQueue &eq)
+{
+    MetricsGroup kernel(metrics(), "kernel");
+    registerEventQueueMetrics(kernel, eq);
+    snapshot_ = metrics().snapshot();
+}
+
+int
+Options::finalize() const
+{
+    if (!traceOut.empty()) {
+        std::ofstream out(traceOut);
+        if (!out)
+            fatal("cannot open %s", traceOut.c_str());
+        writePerfettoJson(out, trace());
+        std::printf("wrote %llu trace records to %s\n",
+                    static_cast<unsigned long long>(trace().size()),
+                    traceOut.c_str());
+    }
+
+    if (!metricsOut.empty()) {
+        std::ofstream out(metricsOut);
+        if (!out)
+            fatal("cannot open %s", metricsOut.c_str());
+        if (snapshot_)
+            MetricsRegistry::writeJson(out, *snapshot_);
+        else
+            metrics().writeJson(out);
+        std::printf("wrote metrics to %s\n", metricsOut.c_str());
+    }
+
+    auto &aud = audit::Auditor::instance();
+    if (!audit || !aud.armed())
+        return 0;
+
+    aud.finish(); // cross-layer span conservation over the trace ring
+    if (auditOut.empty()) {
+        aud.writeReport(std::cout);
+    } else {
+        std::ofstream out(auditOut);
+        if (!out)
+            fatal("cannot open %s", auditOut.c_str());
+        aud.writeReport(out);
+        std::printf("wrote audit report to %s\n", auditOut.c_str());
+    }
+    return aud.diagnostics().empty() ? 0 : 1;
+}
+
+} // namespace babol::obs::cli

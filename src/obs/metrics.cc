@@ -147,9 +147,11 @@ MetricsRegistry::snapshot() const
             out.mean = d.mean();
             out.min = d.min();
             out.max = d.max();
-            out.p50 = d.percentile(50);
-            out.p95 = d.percentile(95);
-            out.p99 = d.percentile(99);
+            // Histogram percentiles see every sample (the kept-sample
+            // estimate degrades once long runs start subsampling).
+            out.p50 = d.histPercentile(50);
+            out.p95 = d.histPercentile(95);
+            out.p99 = d.histPercentile(99);
             snap.dists.push_back(std::move(out));
             break;
           }

@@ -1,6 +1,62 @@
 #include "stats.hh"
 
+#include <cmath>
+
 namespace babol {
+
+std::size_t
+LogHistogram::indexOf(double v)
+{
+    if (!(v > 0.0))
+        return 0; // non-positive (and NaN) underflow bucket
+    int exp = 0;
+    double m = std::frexp(v, &exp); // v = m * 2^exp, m in [0.5, 1)
+    int e = exp - 1;                // v = (2m) * 2^e, 2m in [1, 2)
+    if (e < kMinExp)
+        return 0;
+    if (e >= kMaxExp)
+        return kBuckets - 1; // overflow bucket
+    int sub = static_cast<int>((m - 0.5) * 2.0 * kSubBuckets);
+    sub = std::min(sub, kSubBuckets - 1);
+    return 1 +
+           static_cast<std::size_t>(e - kMinExp) * kSubBuckets +
+           static_cast<std::size_t>(sub);
+}
+
+double
+LogHistogram::midpointOf(std::size_t index)
+{
+    if (index == 0)
+        return 0.0;
+    if (index >= kBuckets - 1)
+        return std::ldexp(1.0, kMaxExp);
+    const std::size_t lin = index - 1;
+    const int e = kMinExp + static_cast<int>(lin / kSubBuckets);
+    const int sub = static_cast<int>(lin % kSubBuckets);
+    // Bucket spans [1 + sub/S, 1 + (sub+1)/S) * 2^e; use the midpoint.
+    double lo = 1.0 + static_cast<double>(sub) / kSubBuckets;
+    double hi = 1.0 + static_cast<double>(sub + 1) / kSubBuckets;
+    return std::ldexp((lo + hi) / 2.0, e);
+}
+
+double
+LogHistogram::percentile(double p) const
+{
+    const std::uint64_t n = total();
+    if (n == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    // Same rank convention as Distribution::percentile: p of (n-1).
+    const auto rank = static_cast<std::uint64_t>(
+        (p / 100.0) * static_cast<double>(n - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        seen += counts_[i];
+        if (seen > rank)
+            return midpointOf(i);
+    }
+    return midpointOf(kBuckets - 1);
+}
 
 double
 Distribution::percentile(double p) const

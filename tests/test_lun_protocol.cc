@@ -241,7 +241,9 @@ TEST(LunProtocol, StatusOverlayPreservesOutputSource)
     Segment seg;
     seg.label = "re-enable";
     seg.items.push_back(SegmentItem::command(opcode::kRead1));
-    seg.items.push_back(SegmentItem::dataOut(4));
+    SegmentItem out = SegmentItem::dataOut(4);
+    out.preDelay = rig.cfg.timing.tWhr;
+    seg.items.push_back(out);
     SegmentResult r = rig.run(std::move(seg));
     EXPECT_EQ(r.dataOut, std::vector<std::uint8_t>(4, 0xD7));
 }
@@ -347,6 +349,7 @@ TEST(LunProtocol, EraseSuspendAllowsInterimReadThenResumes)
     Segment sus;
     sus.label = "suspend";
     sus.items.push_back(SegmentItem::command(opcode::kVendorSuspend));
+    sus.postDelay = rig.cfg.timing.tWb;
     rig.run(std::move(sus));
     std::uint8_t st = rig.pollReady();
     EXPECT_TRUE(st & status::kCsp);
@@ -362,6 +365,7 @@ TEST(LunProtocol, EraseSuspendAllowsInterimReadThenResumes)
     Segment res;
     res.label = "resume";
     res.items.push_back(SegmentItem::command(opcode::kVendorResume));
+    res.postDelay = rig.cfg.timing.tWb;
     rig.run(std::move(res));
     EXPECT_FALSE(rig.lun().ready());
     st = rig.pollReady();
@@ -445,11 +449,17 @@ TEST(LunProtocol, TimingGuardTadlViolationPanics)
     seg.items.push_back(SegmentItem::command(opcode::kProgram1));
     seg.items.push_back(SegmentItem::address(
         encodeColRow(rig.cfg.geometry, 0, {0, 50, 0})));
-    // Data burst with NO tADL wait: the LUN must reject it.
+    // Data burst with NO tADL wait: the LUN must reject it. (With the
+    // conformance auditor armed the bus-side AC rule panics already at
+    // issue(); unarmed, the LUN guard fires during the run.)
     seg.items.push_back(SegmentItem::dataIn({1, 2, 3}));
     seg.ceMask = 1;
-    rig.bus->issue(std::move(seg), [](SegmentResult) {});
-    EXPECT_THROW(rig.eq.run(), SimPanic);
+    EXPECT_THROW(
+        {
+            rig.bus->issue(std::move(seg), [](SegmentResult) {});
+            rig.eq.run();
+        },
+        SimPanic);
 }
 
 TEST(LunProtocol, TimingGuardTwhrViolationPanics)
@@ -460,8 +470,12 @@ TEST(LunProtocol, TimingGuardTwhrViolationPanics)
     seg.items.push_back(SegmentItem::command(opcode::kReadStatus));
     seg.items.push_back(SegmentItem::dataOut(1)); // no tWHR
     seg.ceMask = 1;
-    rig.bus->issue(std::move(seg), [](SegmentResult) {});
-    EXPECT_THROW(rig.eq.run(), SimPanic);
+    EXPECT_THROW(
+        {
+            rig.bus->issue(std::move(seg), [](SegmentResult) {});
+            rig.eq.run();
+        },
+        SimPanic);
 }
 
 TEST(LunProtocol, BusyLunRejectsNewOperations)
@@ -473,6 +487,7 @@ TEST(LunProtocol, BusyLunRejectsNewOperations)
     er.items.push_back(SegmentItem::address(
         encodeRow(rig.cfg.geometry, {0, 51, 0})));
     er.items.push_back(SegmentItem::command(opcode::kErase2));
+    er.postDelay = rig.cfg.timing.tWb;
     rig.run(std::move(er));
     ASSERT_FALSE(rig.lun().ready());
 
@@ -504,12 +519,14 @@ TEST(LunProtocol, ResetWhileBusyAbortsOperation)
     er.items.push_back(SegmentItem::address(
         encodeRow(rig.cfg.geometry, {0, 52, 0})));
     er.items.push_back(SegmentItem::command(opcode::kErase2));
+    er.postDelay = rig.cfg.timing.tWb;
     rig.run(std::move(er));
     ASSERT_FALSE(rig.lun().ready());
 
     Segment rst;
     rst.label = "reset";
     rst.items.push_back(SegmentItem::command(opcode::kReset));
+    rst.postDelay = rig.cfg.timing.tWb;
     rig.run(std::move(rst));
     std::uint8_t st = rig.pollReady();
     EXPECT_TRUE(st & status::kRdy);
