@@ -7,12 +7,16 @@
  *
  *   $ ./examples/ssd_fio [coro|rtos|hw] [--trace-out t.json]
  *                        [--metrics-out m.json] [--audit[=report]]
+ *                        [--faults plan.txt]
  *
  * --trace-out writes a Chrome trace_event JSON of the measured READ
  * phases (load it at ui.perfetto.dev); --metrics-out dumps the
  * central metrics registry; --audit arms the online ONFI conformance
  * auditor and reports its findings at exit (non-zero status on any
- * diagnostic).
+ * diagnostic); --faults arms the deterministic fault-injection engine
+ * with the given plan (see src/fault/fault_plan.hh for the format),
+ * enables the recovery machinery (read-retry budget on every flavour),
+ * and prints the injection/recovery ledger at exit.
  */
 
 #include <cstdio>
@@ -22,6 +26,7 @@
 #include "core/coro/coro_controller.hh"
 #include "core/hw/hw_controller.hh"
 #include "core/rtos_env/rtos_controller.hh"
+#include "fault/fault_engine.hh"
 #include "ftl/ftl.hh"
 #include "host/fio.hh"
 #include "obs/cli.hh"
@@ -34,17 +39,35 @@ int
 main(int argc, char **argv)
 {
     std::string flavor = "coro";
+    std::string fault_plan_path;
     obs::cli::Options obs_opts;
     for (int i = 1; i < argc; ++i) {
         if (obs_opts.parse(argc, argv, i))
             continue;
+        if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+            fault_plan_path = argv[++i];
+            continue;
+        }
+        if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+            fault_plan_path = argv[i] + 9;
+            continue;
+        }
         if (argv[i][0] != '-')
             flavor = argv[i];
         else
-            fatal("usage: ssd_fio [coro|rtos|hw] %s",
+            fatal("usage: ssd_fio [coro|rtos|hw] [--faults plan.txt] %s",
                   obs::cli::Options::usage());
     }
     obs_opts.applyStartup();
+
+    if (!fault_plan_path.empty()) {
+        fault::FaultPlan plan = fault::loadPlanFile(fault_plan_path);
+        fault::engine().arm(plan);
+        std::printf("fault campaign: %zu spec(s), seed %llu (%s)\n",
+                    plan.faults.size(),
+                    static_cast<unsigned long long>(plan.seed),
+                    fault_plan_path.c_str());
+    }
 
     EventQueue eq;
     ChannelConfig cfg;
@@ -53,14 +76,23 @@ main(int argc, char **argv)
     cfg.rateMT = 200;
     ChannelSystem sys(eq, "ssd", cfg);
 
+    // Under a fault campaign, every flavour gets a read-retry budget so
+    // injected bit bursts and drift are recoverable rather than fatal.
+    SoftControllerConfig soft_cfg;
+    if (fault::engine().armed())
+        soft_cfg.maxReadRetries = 4;
+
     std::unique_ptr<ChannelController> ctrl;
     if (flavor == "coro")
-        ctrl = std::make_unique<CoroController>(eq, "ctrl", sys);
+        ctrl = std::make_unique<CoroController>(eq, "ctrl", sys, soft_cfg);
     else if (flavor == "rtos")
-        ctrl = std::make_unique<RtosController>(eq, "ctrl", sys);
-    else if (flavor == "hw")
-        ctrl = std::make_unique<HwController>(eq, "ctrl", sys, false);
-    else
+        ctrl = std::make_unique<RtosController>(eq, "ctrl", sys, soft_cfg);
+    else if (flavor == "hw") {
+        auto hw = std::make_unique<HwController>(eq, "ctrl", sys, false);
+        if (fault::engine().armed())
+            hw->setMaxReadRetries(4);
+        ctrl = std::move(hw);
+    } else
         fatal("usage: ssd_fio [coro|rtos|hw]");
 
     ftl::FtlConfig fcfg;
@@ -118,6 +150,9 @@ main(int argc, char **argv)
                     engine.latencyUs().percentile(95),
                     engine.latencyUs().percentile(99));
     }
+
+    if (fault::engine().armed())
+        std::printf("\n%s\n", fault::engine().summary().c_str());
 
     obs_opts.captureMetrics(eq);
     int status = obs_opts.finalize();

@@ -1,11 +1,21 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build and run the test suite, plain and sanitized.
+# Tier-1 gate: build and run the test suite, plain and sanitized, with
+# the ONFI conformance audit and the performance guards.
 #
 # The sanitized pass (ASan + UBSan via -DBABOL_SANITIZE=ON) exists
 # chiefly for the event kernel's pool / free-list / intrusive-list code,
 # where a stale index or double release would otherwise corrupt silently.
 #
-# Usage: scripts/ci.sh [--plain-only|--asan-only]
+# Stages (all run when no flag is given; CI runs them as separate jobs):
+#   --plain-only   configure/build/ctest, default flags
+#   --asan-only    configure/build/ctest with ASan + UBSan
+#   --audit-only   BABOL_AUDIT=1 sanitizer sweep + fault campaigns on
+#                  every controller flavour (requires a prior plain
+#                  build; runs one if build/ is missing)
+#   --guard-only   bench-regression + tracing-overhead guards (same
+#                  build requirement)
+#
+# Usage: scripts/ci.sh [--plain-only|--asan-only|--audit-only|--guard-only]
 
 set -euo pipefail
 
@@ -20,16 +30,31 @@ run_suite() {
     ctest --test-dir "$dir" --output-on-failure -j"$JOBS"
 }
 
-if [[ "$MODE" != "--asan-only" ]]; then
+ensure_plain_build() {
+    if [[ ! -x "$ROOT/build/examples/ssd_fio" ]]; then
+        cmake -B "$ROOT/build" -S "$ROOT"
+        cmake --build "$ROOT/build" -j"$JOBS"
+    fi
+}
+
+stage_plain() {
     echo "=== tier-1: plain ==="
     run_suite "$ROOT/build"
-fi
+}
+
+stage_asan() {
+    echo "=== tier-1: ASan + UBSan ==="
+    run_suite "$ROOT/build-asan" -DBABOL_SANITIZE=ON
+}
 
 # ONFI conformance audit: the whole suite and the figure benches run
 # with the online auditor armed as a sanitizer (BABOL_AUDIT=1 panics on
-# the first diagnostic), plus one collector-mode (--audit) pass whose
-# exit status covers the end-of-run conservation checks.
-if [[ "$MODE" != "--asan-only" ]]; then
+# the first unsuppressed diagnostic), plus collector-mode (--audit)
+# passes whose exit status covers the end-of-run conservation checks —
+# including a full fault campaign on every controller flavour, which
+# must inject, recover, and still audit clean.
+stage_audit() {
+    ensure_plain_build
     echo "=== tier-1: ONFI conformance audit (BABOL_AUDIT=1) ==="
     BABOL_AUDIT=1 ctest --test-dir "$ROOT/build" --output-on-failure \
         -j"$JOBS"
@@ -37,17 +62,52 @@ if [[ "$MODE" != "--asan-only" ]]; then
     BABOL_AUDIT=1 "$ROOT/build/bench/fig11_polling_breakdown" >/dev/null
     BABOL_AUDIT=1 "$ROOT/build/bench/fig12_end_to_end" --quick >/dev/null
     "$ROOT/build/examples/ssd_fio" coro --audit | tail -3
-fi
 
-if [[ "$MODE" != "--plain-only" ]]; then
-    echo "=== tier-1: ASan + UBSan ==="
-    run_suite "$ROOT/build-asan" -DBABOL_SANITIZE=ON
-fi
+    echo "=== tier-1: fault campaigns (every flavour, audit-clean) ==="
+    mkdir -p "$ROOT/build/audit-reports"
+    local flavor
+    for flavor in coro rtos hw; do
+        echo "--- $flavor ---"
+        "$ROOT/build/examples/ssd_fio" "$flavor" \
+            --faults "$ROOT/examples/fault_plan.txt" \
+            --audit="$ROOT/build/audit-reports/fault_${flavor}.txt" \
+            | tail -4
+    done
+}
 
-# Tracing-overhead guard: with the obs hot path compiled in but
-# recording disabled, the event kernel must stay within 3% of its
-# plain throughput. One retry absorbs machine noise.
-if [[ "$MODE" != "--asan-only" ]]; then
+# Bench-regression guard: the event kernel's throughput must stay
+# within 15% of the committed baseline. One retry absorbs machine
+# noise; the comparison uses sed/awk only, no extra tooling.
+check_bench_regression() {
+    local baseline="$ROOT/BENCH_event_kernel.json"
+    local fresh="$ROOT/build/bench_guard.json"
+    "$ROOT/build/bench/micro_event_kernel" --quick --out "$fresh" \
+        >/dev/null
+    local want got
+    want="$(sed -n 's/.*"kernel_events_per_sec": \([0-9]*\).*/\1/p' \
+        "$baseline")"
+    got="$(sed -n 's/.*"kernel_events_per_sec": \([0-9]*\).*/\1/p' \
+        "$fresh")"
+    echo "    kernel events/s: baseline ${want}, this run ${got}"
+    awk -v w="$want" -v g="$got" \
+        'BEGIN { exit !(g >= w * 0.85 && g <= w * 1.15) }'
+}
+
+stage_guard() {
+    ensure_plain_build
+    echo "=== tier-1: bench-regression guard (±15%) ==="
+    if ! check_bench_regression; then
+        echo "    outside ±15%; retrying once to rule out noise"
+        check_bench_regression || {
+            echo "FAIL: event-kernel throughput drifted more than 15%" \
+                 "from BENCH_event_kernel.json"
+            exit 1
+        }
+    fi
+
+    # Tracing-overhead guard: with the obs hot path compiled in but
+    # recording disabled, the event kernel must stay within 3% of its
+    # plain throughput. One retry absorbs machine noise.
     echo "=== tier-1: tracing-overhead guard ==="
     check_overhead() {
         "$ROOT/build/bench/micro_event_kernel" --quick \
@@ -66,6 +126,24 @@ if [[ "$MODE" != "--asan-only" ]]; then
             exit 1
         }
     fi
-fi
+}
+
+case "$MODE" in
+  --plain-only) stage_plain ;;
+  --asan-only)  stage_asan ;;
+  --audit-only) stage_audit ;;
+  --guard-only) stage_guard ;;
+  all)
+    stage_plain
+    stage_audit
+    stage_asan
+    stage_guard
+    ;;
+  *)
+    echo "usage: scripts/ci.sh" \
+         "[--plain-only|--asan-only|--audit-only|--guard-only]" >&2
+    exit 2
+    ;;
+esac
 
 echo "=== tier-1: OK ==="

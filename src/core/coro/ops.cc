@@ -1,5 +1,6 @@
 #include "ops.hh"
 
+#include "fault/fault_engine.hh"
 #include "nand/onfi.hh"
 
 namespace babol::core {
@@ -43,6 +44,41 @@ transferTxn(OpEnv &env, std::uint32_t chip, std::uint32_t payload_column,
 } // namespace
 
 // --------------------------------------------------------------------
+// Bounded status polling
+// --------------------------------------------------------------------
+Op<PollStatus>
+pollReadyOp(OpEnv &env, std::uint32_t chip, std::uint8_t mask,
+            Tick expected, const char *what)
+{
+    PollStatus out;
+    const Tick start = env.rt.curTick();
+    // Budget: twice the datasheet time plus a flat grace window, so a
+    // transiently stuck die (tR/tPROG overrun) recovers while a dead
+    // one is abandoned instead of hanging the op forever.
+    const Tick budget = expected * 2 + kPollGrace;
+    Tick backoff = ticks::perUs;
+    for (;;) {
+        out.status = co_await readStatusOp(env, chip);
+        ++out.polls;
+        if (out.status & mask)
+            co_return out;
+        Tick elapsed = env.rt.curTick() - start;
+        if (elapsed > budget) {
+            out.timedOut = true;
+            fault::engine().noteTimeout(strfmt("coro.%s c%u", what, chip),
+                                        env.rt.curTick());
+            co_return out;
+        }
+        if (elapsed > expected) {
+            // Past the datasheet time: stop hammering the bus and back
+            // off exponentially (capped) between polls.
+            co_await env.rt.sleepFor(backoff);
+            backoff = std::min<Tick>(backoff * 2, kPollBackoffCap);
+        }
+    }
+}
+
+// --------------------------------------------------------------------
 // Algorithm 1: READ STATUS
 // --------------------------------------------------------------------
 Op<std::uint8_t>
@@ -76,11 +112,14 @@ readOp(OpEnv &env, FlashRequest req)
                   .cmd(kRead2));
     co_await env.rt.submit(std::move(latch));
 
-    // Poll LUN readiness instead of waiting a fixed tR (paper Fig. 9).
-    std::uint8_t st = 0;
-    do {
-        st = co_await readStatusOp(env, req.chip);
-    } while (!(st & status::kRdy));
+    // Poll LUN readiness instead of waiting a fixed tR (paper Fig. 9),
+    // bounded so a stuck die fails the op instead of hanging it.
+    PollStatus ps = co_await pollReadyOp(env, req.chip, status::kRdy,
+                                         env.timing().tR, "READ");
+    if (ps.timedOut) {
+        res.timedOut = true;
+        co_return res;
+    }
 
     // Transaction 2: select the column and move the data out.
     TxnResult xfer = co_await env.rt.submit(
@@ -112,10 +151,14 @@ pslcReadOp(OpEnv &env, FlashRequest req)
                   .cmd(kRead2));
     co_await env.rt.submit(std::move(latch));
 
-    std::uint8_t st = 0;
-    do {
-        st = co_await readStatusOp(env, req.chip);
-    } while (!(st & status::kRdy));
+    PollStatus ps = co_await pollReadyOp(
+        env, req.chip, status::kRdy,
+        static_cast<Tick>(env.timing().tR * env.timing().slcReadFactor),
+        "PSLC_READ");
+    if (ps.timedOut) {
+        res.timedOut = true;
+        co_return res;
+    }
 
     TxnResult xfer = co_await env.rt.submit(
         transferTxn(env, req.chip, req.column, req.dataBytes, req.dramAddr,
@@ -151,12 +194,14 @@ programOp(OpEnv &env, FlashRequest req, bool pslc)
     txn.add(CaWriter::command(kProgram2));
     co_await env.rt.submit(std::move(txn));
 
-    // Poll for completion, then check the FAIL bit.
-    std::uint8_t st = 0;
-    do {
-        st = co_await readStatusOp(env, req.chip);
-    } while (!(st & status::kRdy));
-    res.flashFail = st & status::kFail;
+    // Poll for completion (bounded), then check the FAIL bit.
+    PollStatus ps = co_await pollReadyOp(env, req.chip, status::kRdy,
+                                         env.timing().tProg, "PROGRAM");
+    if (ps.timedOut) {
+        res.timedOut = true;
+        co_return res;
+    }
+    res.flashFail = ps.status & status::kFail;
     res.ok = !res.flashFail;
     co_return res;
 }
@@ -180,11 +225,13 @@ eraseOp(OpEnv &env, FlashRequest req, bool slc_mode)
     txn.add(head.addr(encodeRow(env.geo(), req.row)).cmd(kErase2));
     co_await env.rt.submit(std::move(txn));
 
-    std::uint8_t st = 0;
-    do {
-        st = co_await readStatusOp(env, req.chip);
-    } while (!(st & status::kRdy));
-    res.flashFail = st & status::kFail;
+    PollStatus ps = co_await pollReadyOp(env, req.chip, status::kRdy,
+                                         env.timing().tBers, "ERASE");
+    if (ps.timedOut) {
+        res.timedOut = true;
+        co_return res;
+    }
+    res.flashFail = ps.status & status::kFail;
     res.ok = !res.flashFail;
     co_return res;
 }
@@ -210,11 +257,10 @@ setFeaturesOp(OpEnv &env, std::uint32_t chip, std::uint8_t feature_addr,
     txn.add(dw);
     co_await env.rt.submit(std::move(txn));
 
-    std::uint8_t st = 0;
-    do {
-        st = co_await readStatusOp(env, chip);
-    } while (!(st & status::kRdy));
-    co_return st;
+    PollStatus ps = co_await pollReadyOp(env, chip, status::kRdy,
+                                         env.timing().tFeat,
+                                         "SET_FEATURES");
+    co_return ps.status;
 }
 
 Op<std::array<std::uint8_t, 4>>
@@ -244,11 +290,9 @@ resetOp(OpEnv &env, std::uint32_t chip)
     txn.add(CaWriter::command(kReset));
     co_await env.rt.submit(std::move(txn));
 
-    std::uint8_t st = 0;
-    do {
-        st = co_await readStatusOp(env, chip);
-    } while (!(st & status::kRdy));
-    co_return st;
+    PollStatus ps = co_await pollReadyOp(env, chip, status::kRdy,
+                                         env.timing().tRst, "RESET");
+    co_return ps.status;
 }
 
 Op<std::vector<std::uint8_t>>
@@ -292,8 +336,10 @@ readWithRetryOp(OpEnv &env, FlashRequest req, std::uint32_t max_retries)
 {
     OpResult res = co_await readOp(env, req);
     std::uint32_t level = 0;
-    while (!res.ok && res.retries < max_retries) {
+    while (!res.ok && !res.timedOut && res.retries < max_retries) {
         ++level;
+        fault::engine().noteRetryStep(strfmt("coro c%u", req.chip), level,
+                                      env.rt.curTick());
         co_await setFeaturesOp(env, req.chip, feature::kVendorReadRetry,
                                {static_cast<std::uint8_t>(level), 0, 0, 0});
         std::uint32_t retries = res.retries + 1;

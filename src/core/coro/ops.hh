@@ -45,6 +45,24 @@ struct OpEnv
 /** Algorithm 1: READ STATUS — one poll, returns the status byte. */
 Op<std::uint8_t> readStatusOp(OpEnv &env, std::uint32_t chip);
 
+/** Outcome of a bounded status-poll loop. */
+struct PollStatus
+{
+    std::uint8_t status = 0;
+    bool timedOut = false;
+    std::uint32_t polls = 0;
+};
+
+/**
+ * Poll READ STATUS until (status & mask) or the per-op budget —
+ * 2 × @p expected plus kPollGrace — expires. Polls run eagerly while
+ * the op is within its datasheet time, then space out with bounded
+ * exponential backoff; @p what labels timeout reports.
+ */
+Op<PollStatus> pollReadyOp(OpEnv &env, std::uint32_t chip,
+                           std::uint8_t mask, Tick expected,
+                           const char *what);
+
 /** Algorithm 2: READ with Change Read Column (partial or full page). */
 Op<OpResult> readOp(OpEnv &env, FlashRequest req);
 

@@ -55,6 +55,14 @@ class HwController : public ChannelController
     /** R/B#-to-controller synchronizer delay. */
     Tick rbSyncDelay() const { return rbSyncDelay_; }
 
+    /**
+     * Read-retry budget for the baked-in READ FSM. Default 0: a classic
+     * fixed-function controller treats an uncorrectable page as a hard
+     * error. Raising it models an RTL respin that added the retry loop.
+     */
+    std::uint32_t maxReadRetries() const { return maxReadRetries_; }
+    void setMaxReadRetries(std::uint32_t n) { maxReadRetries_ = n; }
+
     // --- Services the operation FSMs use ---
 
     /**
@@ -75,6 +83,7 @@ class HwController : public ChannelController
     bool synchronous_;
     Tick arbitrationDeadTime_;
     Tick rbSyncDelay_;
+    std::uint32_t maxReadRetries_ = 0;
 
     struct GrantRequest
     {

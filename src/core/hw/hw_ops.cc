@@ -1,5 +1,6 @@
 #include "hw_ops.hh"
 
+#include "fault/fault_engine.hh"
 #include "nand/onfi.hh"
 
 namespace babol::core {
@@ -161,14 +162,59 @@ HwReadFsm::step()
                 s.lun(req_.chip).cacheRegisterFlips());
             result_.correctedBits = report.correctedBits;
             result_.failedCodewords = report.failedCodewords;
-            // No retry path in hardware: an uncorrectable page is an
-            // error, full stop.
+            if (report.failedCodewords != 0
+                && retries_ < ctrl_.maxReadRetries()) {
+                // Retry-capable RTL: step the vendor retry level and
+                // re-run the whole read waveform.
+                ++retries_;
+                fault::engine().noteRetryStep(
+                    strfmt("hw c%u", req_.chip), retries_,
+                    ctrl_.curTick());
+                state_ = State::IssueRetryFeatures;
+                step();
+                return;
+            }
             result_.ok = report.failedCodewords == 0;
+            result_.retries = retries_;
             state_ = State::Done;
             step();
         });
         return;
       }
+      case State::IssueRetryFeatures: {
+        // --- hard-coded EFh / 89h / 4 parameter bytes waveform ---
+        chan::Segment seg;
+        seg.label = strfmt("HW.READ.retry c%u", req_.chip);
+        seg.ceMask = 1u << req_.chip;
+
+        chan::SegmentItem cmd;
+        cmd.type = CycleType::CmdLatch;
+        cmd.out.push_back(opcode::kSetFeatures);
+        seg.items.push_back(cmd);
+
+        chan::SegmentItem addr;
+        addr.type = CycleType::AddrLatch;
+        addr.out.push_back(feature::kVendorReadRetry);
+        seg.items.push_back(addr);
+
+        chan::SegmentItem params;
+        params.type = CycleType::DataIn;
+        params.out = {static_cast<std::uint8_t>(retries_), 0, 0, 0};
+        params.preDelay = t.tAdl;
+        seg.items.push_back(params);
+
+        seg.postDelay = t.tWb;
+
+        state_ = State::WaitRetryReady;
+        ctrl_.issueSegment(req_.chip, std::move(seg),
+                           [this](chan::SegmentResult) { step(); });
+        return;
+      }
+      case State::WaitRetryReady:
+        // tFEAT elapses in the die; re-read once the pin rises.
+        state_ = State::IssueCmdAddr;
+        waitReadyPin([this] { step(); });
+        return;
       case State::Done:
         finish();
         return;

@@ -65,11 +65,14 @@ class HwReadFsm : public HwOpFsm
         IssueColumnChange,
         TransferData,
         DecodeEcc,
+        IssueRetryFeatures, //!< SET FEATURES wave stepping the retry level
+        WaitRetryReady,     //!< R/B# during the tFEAT level switch
         Done,
     };
     void step();
 
     State state_ = State::Idle;
+    std::uint32_t retries_ = 0;
 };
 
 /** PROGRAM: hard-coded address+data wave, R/B# wait, status check. */

@@ -18,6 +18,17 @@
 
 namespace babol::core {
 
+/** Flat grace added to every per-op status-poll budget beyond 2× the
+ *  datasheet time — absorbs transient stuck-busy overruns while a dead
+ *  die still fails the op in bounded time. Shared by both software
+ *  controller flavours. */
+inline constexpr Tick kPollGrace = 2 * ticks::perMs;
+
+/** Cap on the exponential poll backoff once the datasheet time has
+ *  passed (backoff pauses are off-bus, so they only trade poll traffic
+ *  for detection latency). */
+inline constexpr Tick kPollBackoffCap = 64 * ticks::perUs;
+
 enum class FlashOpKind : std::uint8_t {
     Read,        //!< full or partial page read (Algorithm 2)
     PslcRead,    //!< pseudo-SLC read (Algorithm 3)
@@ -43,6 +54,10 @@ struct OpResult
 
     /** FAIL status bit observed (programs/erases). */
     bool flashFail = false;
+
+    /** The op abandoned its status poll: the LUN never turned ready
+     *  within the per-op budget (stuck-busy die). */
+    bool timedOut = false;
 
     Tick submitTick = 0; //!< request handed to the controller
     Tick startTick = 0;  //!< operation admitted by the task scheduler

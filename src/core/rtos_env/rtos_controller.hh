@@ -37,6 +37,9 @@ class RtosController : public ChannelController
     /** Called by an op's finish(); defers teardown out of task context. */
     void completeRequest(std::uint64_t id, OpResult res);
 
+    /** Read-retry budget (SET FEATURES level sweeps) per read op. */
+    std::uint32_t maxReadRetries() const { return cfg_.maxReadRetries; }
+
     std::size_t liveOps() const { return live_.size(); }
 
   private:

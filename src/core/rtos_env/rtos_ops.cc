@@ -1,5 +1,6 @@
 #include "rtos_ops.hh"
 
+#include "fault/fault_engine.hh"
 #include "nand/onfi.hh"
 #include "rtos_controller.hh"
 
@@ -54,6 +55,39 @@ RtosOpBase::makeStatusPoll() const
     return txn;
 }
 
+void
+RtosOpBase::beginPollWindow(Tick expected)
+{
+    pollStart_ = ctrl_.curTick();
+    pollExpected_ = expected;
+    pollBackoff_ = ticks::perUs;
+}
+
+bool
+RtosOpBase::repollOrTimeout(const char *what)
+{
+    const Tick elapsed = ctrl_.curTick() - pollStart_;
+    const Tick budget = pollExpected_ * 2 + kPollGrace;
+    if (elapsed > budget) {
+        fault::engine().noteTimeout(
+            strfmt("rtos.%s c%u", what, req_.chip), ctrl_.curTick());
+        res_.timedOut = true;
+        return true;
+    }
+    if (elapsed <= pollExpected_) {
+        submitTxn(makeStatusPoll()); // within datasheet time: poll hard
+        return false;
+    }
+    // Past the datasheet time: pause off the bus before the next poll,
+    // exponential and capped.
+    Tick pause = pollBackoff_;
+    pollBackoff_ = std::min<Tick>(pollBackoff_ * 2, kPollBackoffCap);
+    ctrl_.eventQueue().schedule(ctrl_.curTick() + pause, [this] {
+        submitTxn(makeStatusPoll());
+    }, "rtos poll backoff");
+    return false;
+}
+
 // --------------------------------------------------------------------
 // READ
 // --------------------------------------------------------------------
@@ -74,39 +108,53 @@ RtosReadOp::RtosReadOp(RtosController &ctrl, std::uint64_t id,
 {}
 
 void
+RtosReadOp::issueLatch()
+{
+    ChannelSystem &sys = ctrl_.system();
+    const Geometry &geo = sys.config().package.geometry;
+    // Transaction 1: (optional pSLC prefix,) command, address, 30h.
+    Transaction latch(req_.chip, strfmt("%s.ca c%u",
+                                        pslc_ ? "PSLC_READ" : "READ",
+                                        req_.chip));
+    latch.add(ChipControl{1u << req_.chip});
+    CaWriter head = pslc_ ? CaWriter::command(kVendorSlcPrefix)
+                                .cmd(kRead1)
+                          : CaWriter::command(kRead1);
+    latch.add(head.addr(encodeColRow(
+                            geo, sys.ecc().flashColumnFor(req_.column),
+                            req_.row))
+                  .cmd(kRead2));
+    submitTxn(std::move(latch));
+}
+
+void
 RtosReadOp::onMessage(cpu::RtosKernel &kernel, std::uint64_t msg)
 {
     ChannelSystem &sys = ctrl_.system();
     const Geometry &geo = sys.config().package.geometry;
+    const TimingParams &t = sys.config().package.timing;
 
     switch (st_) {
-      case St::Idle: {
+      case St::Idle:
         babol_assert(msg == rtos_msg::kStart, "read op expected start");
-        // Transaction 1: (optional pSLC prefix,) command, address, 30h.
-        Transaction latch(req_.chip, strfmt("%s.ca c%u",
-                                            pslc_ ? "PSLC_READ" : "READ",
-                                            req_.chip));
-        latch.add(ChipControl{1u << req_.chip});
-        CaWriter head = pslc_ ? CaWriter::command(kVendorSlcPrefix)
-                                    .cmd(kRead1)
-                              : CaWriter::command(kRead1);
-        latch.add(head.addr(encodeColRow(
-                                geo,
-                                sys.ecc().flashColumnFor(req_.column),
-                                req_.row))
-                      .cmd(kRead2));
-        submitTxn(std::move(latch));
+        issueLatch();
         st_ = St::WaitCaLatch;
         return;
-      }
-      case St::WaitCaLatch:
+      case St::WaitCaLatch: {
         // The latch is on the wires; start polling for array readiness.
+        Tick expected = pslc_ ? static_cast<Tick>(t.tR * t.slcReadFactor)
+                              : t.tR;
+        beginPollWindow(expected);
         submitTxn(makeStatusPoll());
         st_ = St::WaitStatus;
         return;
+      }
       case St::WaitStatus: {
         if (!(lastStatus() & status::kRdy)) {
-            submitTxn(makeStatusPoll()); // not ready: poll again
+            if (repollOrTimeout(pslc_ ? "PSLC_READ" : "READ")) {
+                res_.retries = retries_;
+                finish(res_); // stuck die: abandon the op
+            }
             return;
         }
         // Ready: change read column and transfer the data out.
@@ -130,11 +178,53 @@ RtosReadOp::onMessage(cpu::RtosKernel &kernel, std::uint64_t msg)
         st_ = St::WaitTransfer;
         return;
       }
-      case St::WaitTransfer:
+      case St::WaitTransfer: {
         res_.correctedBits = lastTxn().eccCorrectedBits;
         res_.failedCodewords = lastTxn().eccFailedCodewords;
-        res_.ok = lastTxn().eccFailedCodewords == 0;
+        bool failed = lastTxn().eccFailedCodewords != 0;
+        if (failed && retries_ < ctrl_.maxReadRetries()) {
+            // Read-retry escalation: step the vendor retry level via
+            // SET FEATURES and re-issue the read.
+            ++retries_;
+            fault::engine().noteRetryStep(
+                strfmt("rtos c%u", req_.chip), retries_, ctrl_.curTick());
+            Transaction feat(req_.chip,
+                             strfmt("SET_FEATURES c%u a%02x", req_.chip,
+                                    feature::kVendorReadRetry));
+            feat.add(ChipControl{1u << req_.chip});
+            feat.add(CaWriter::command(kSetFeatures)
+                         .addr({feature::kVendorReadRetry}));
+            feat.add(Timer{t.tAdl});
+            DataWriter dw;
+            dw.bytes = 4;
+            dw.inlineData = {static_cast<std::uint8_t>(retries_), 0, 0,
+                             0};
+            feat.add(dw);
+            submitTxn(std::move(feat));
+            st_ = St::WaitRetryFeat;
+            return;
+        }
+        res_.ok = !failed;
+        res_.retries = retries_;
         finish(res_);
+        return;
+      }
+      case St::WaitRetryFeat:
+        // Level switch latched; wait for tFEAT to complete.
+        beginPollWindow(t.tFeat);
+        submitTxn(makeStatusPoll());
+        st_ = St::WaitRetryFeatStatus;
+        return;
+      case St::WaitRetryFeatStatus:
+        if (!(lastStatus() & status::kRdy)) {
+            if (repollOrTimeout("SET_FEATURES")) {
+                res_.retries = retries_;
+                finish(res_);
+            }
+            return;
+        }
+        issueLatch(); // re-read at the new level
+        st_ = St::WaitCaLatch;
         return;
     }
     panic("read op in impossible state");
@@ -185,13 +275,19 @@ RtosProgramOp::onMessage(cpu::RtosKernel &kernel, std::uint64_t msg)
         st_ = St::WaitProgram;
         return;
       }
-      case St::WaitProgram:
+      case St::WaitProgram: {
+        const TimingParams &t = sys.config().package.timing;
+        beginPollWindow(pslc_ ? static_cast<Tick>(t.tProg *
+                                                  t.slcProgFactor)
+                              : t.tProg);
         submitTxn(makeStatusPoll());
         st_ = St::WaitStatus;
         return;
+      }
       case St::WaitStatus:
         if (!(lastStatus() & status::kRdy)) {
-            submitTxn(makeStatusPoll());
+            if (repollOrTimeout("PROGRAM"))
+                finish(res_);
             return;
         }
         res_.flashFail = lastStatus() & status::kFail;
@@ -232,13 +328,19 @@ RtosEraseOp::onMessage(cpu::RtosKernel &kernel, std::uint64_t msg)
         st_ = St::WaitErase;
         return;
       }
-      case St::WaitErase:
+      case St::WaitErase: {
+        const TimingParams &t = ctrl_.system().config().package.timing;
+        beginPollWindow(slcMode_ ? static_cast<Tick>(t.tBers *
+                                                     t.slcEraseFactor)
+                                 : t.tBers);
         submitTxn(makeStatusPoll());
         st_ = St::WaitStatus;
         return;
+      }
       case St::WaitStatus:
         if (!(lastStatus() & status::kRdy)) {
-            submitTxn(makeStatusPoll());
+            if (repollOrTimeout("ERASE"))
+                finish(res_);
             return;
         }
         res_.flashFail = lastStatus() & status::kFail;

@@ -55,6 +55,19 @@ class RtosOpBase : public cpu::RtosTask
     /** Build the standard one-byte status poll transaction. */
     Transaction makeStatusPoll() const;
 
+    /** Open a bounded poll window: the op expects the array to take
+     *  about @p expected; polls run eagerly until then, back off after,
+     *  and the window expires at 2 × expected plus a flat grace. */
+    void beginPollWindow(Tick expected);
+
+    /**
+     * The last poll came back not-ready: either resubmit (immediately
+     * within the datasheet time, else after a capped exponential
+     * backoff pause off the bus) and return false, or — when the
+     * window's budget is spent — report a timeout and return true.
+     */
+    bool repollOrTimeout(const char *what);
+
     RtosController &ctrl_;
     std::uint64_t id_;
     FlashRequest req_;
@@ -62,6 +75,9 @@ class RtosOpBase : public cpu::RtosTask
 
   private:
     TxnResult lastTxn_;
+    Tick pollStart_ = 0;
+    Tick pollExpected_ = 0;
+    Tick pollBackoff_ = 0;
 };
 
 /** READ (optionally pSLC) as an explicit five-state machine. */
@@ -79,9 +95,16 @@ class RtosReadOp : public RtosOpBase
         WaitCaLatch,
         WaitStatus,
         WaitTransfer,
+        WaitRetryFeat,       //!< SET FEATURES (read-retry level) on wires
+        WaitRetryFeatStatus, //!< polling until the level switch lands
     };
+
+    /** Build and submit the command/address latch transaction. */
+    void issueLatch();
+
     St st_ = St::Idle;
     bool pslc_;
+    std::uint32_t retries_ = 0;
 };
 
 /** PAGE PROGRAM (optionally pSLC) as an explicit state machine. */

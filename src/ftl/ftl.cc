@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/fault_engine.hh"
+
 namespace babol::ftl {
 
 using core::FlashOpKind;
@@ -50,6 +52,25 @@ PageFtl::PageFtl(EventQueue &eq, const std::string &name,
         }
     }
 
+    // Import the grown-defect table from the previous mount: those
+    // blocks are out of service before the first allocation.
+    for (const GrownDefect &gd : cfg_.grownDefects) {
+        if (gd.chip >= chips || gd.block >= cfg_.blocksPerChip) {
+            warn("%s: grown defect chip %u block %u outside the managed "
+                 "slice; ignored",
+                 name.c_str(), gd.chip, gd.block);
+            continue;
+        }
+        ChipState &cs = chips_[gd.chip];
+        if (cs.blocks[gd.block].bad)
+            continue; // duplicate entry
+        cs.blocks[gd.block].bad = true;
+        auto it = std::find(cs.freeBlocks.begin(), cs.freeBlocks.end(),
+                            gd.block);
+        if (it != cs.freeBlocks.end())
+            cs.freeBlocks.erase(it);
+    }
+
     // GC staging buffer lives at the top of DRAM.
     babol_assert(backend_.backendDram().size() >= pageBytes_,
                  "DRAM too small for the GC scratch page");
@@ -77,6 +98,19 @@ bool
 PageFtl::isMapped(std::uint64_t lpn) const
 {
     return lpn < map_.size() && map_[lpn] != kUnmapped;
+}
+
+std::vector<GrownDefect>
+PageFtl::exportGrownDefects() const
+{
+    std::vector<GrownDefect> table;
+    for (std::uint32_t c = 0; c < chips_.size(); ++c) {
+        for (std::uint32_t b = 0; b < chips_[c].blocks.size(); ++b) {
+            if (chips_[c].blocks[b].bad)
+                table.push_back({c, b});
+        }
+    }
+    return table;
 }
 
 std::uint32_t
@@ -178,11 +212,14 @@ PageFtl::retireBlock(std::uint32_t chip, std::uint32_t block)
 {
     ChipState &cs = chips_[chip];
     BlockInfo &bi = cs.blocks[block];
+    if (bi.bad)
+        return; // a second in-flight failure already retired it
     warn("%s: retiring chip %u block %u after %u erases", name().c_str(),
          chip, block, bi.eraseCount);
     bi.bad = true;
     bi.erased = false;
     ++retired_;
+    fault::engine().noteRemap(name(), chip, block, curTick());
     if (cs.activeBlock == static_cast<std::int32_t>(block))
         cs.activeBlock = -1;
     auto it = std::find(cs.freeBlocks.begin(), cs.freeBlocks.end(), block);

@@ -32,6 +32,15 @@
 
 namespace babol::ftl {
 
+/** One grown-defect entry: a block retired after a program or erase
+ *  failure. The table is what survives a power cycle — export it at
+ *  shutdown, feed it back through FtlConfig at the next mount. */
+struct GrownDefect
+{
+    std::uint32_t chip = 0;
+    std::uint32_t block = 0;
+};
+
 struct FtlConfig
 {
     /** Blocks per chip the FTL manages (a slice keeps tests fast). */
@@ -45,6 +54,10 @@ struct FtlConfig
 
     /** Give up on a host write after this many bad-block reroutes. */
     std::uint32_t maxWriteRetries = 3;
+
+    /** Grown defects known from a previous mount: marked bad up front
+     *  and never allocated (they consume over-provisioning). */
+    std::vector<GrownDefect> grownDefects;
 };
 
 /** A physical page address. */
@@ -87,6 +100,10 @@ class PageFtl : public SimObject
     std::uint64_t gcPageMoves() const { return gcPageMoves_; }
     std::uint64_t erasesIssued() const { return erases_; }
     std::uint64_t blocksRetired() const { return retired_; }
+
+    /** The current grown-defect table: every bad block, both imported
+     *  ones and those retired during this mount. */
+    std::vector<GrownDefect> exportGrownDefects() const;
 
     /** Spread of per-block erase counts on a chip (wear levelling). */
     std::uint32_t maxEraseCount(std::uint32_t chip) const;

@@ -1,7 +1,9 @@
 #include "lun.hh"
 
 #include <algorithm>
+#include <set>
 
+#include "fault/fault_engine.hh"
 #include "obs/audit/auditor.hh"
 #include "param_page.hh"
 
@@ -105,10 +107,20 @@ Lun::outputActive() const
 void
 Lun::violation(const char *rule, std::string msg) const
 {
+    // A violation provoked by an injected fault (e.g. a command landing
+    // on a LUN held busy past its datasheet time by a stuck-busy
+    // injection) is expected fallout, not a conformance bug: tag it so
+    // it never double-reports as a failure.
+    bool suppressed = fault::engine().suppresses(name(), curTick());
     auto &aud = obs::audit::auditor();
     if (aud.armed()) {
         aud.report(obs::audit::Check::LunProtocol, rule, name(), curTick(),
-                   std::move(msg));
+                   std::move(msg), suppressed);
+        return;
+    }
+    if (suppressed) {
+        warn("%s: %s (fault-expected, suppressed)", name().c_str(),
+             msg.c_str());
         return;
     }
     panic("%s: %s", name().c_str(), msg.c_str());
@@ -755,6 +767,26 @@ Lun::startArrayOp(ArrayOp op, Tick duration, std::function<void()> done)
         // working and its busy bookkeeping must not be clobbered.
         return;
     }
+    if (auto &eng = fault::engine(); eng.armed()) {
+        // Stuck-busy injection: the array overruns its datasheet time.
+        // Applied after the floor audits so only upper-bound watchers
+        // (the controllers' op timeouts) see the overrun.
+        fault::OpClass cls = fault::OpClass::Other;
+        switch (op) {
+          case ArrayOp::Read:
+            cls = fault::OpClass::Read;
+            break;
+          case ArrayOp::Program:
+            cls = fault::OpClass::Program;
+            break;
+          case ArrayOp::Erase:
+            cls = fault::OpClass::Erase;
+            break;
+          default:
+            break;
+        }
+        duration += eng.onArrayOp(name(), cls, duration, curTick());
+    }
     rdy_ = false;
     ardy_ = false;
     busyOp_ = op;
@@ -800,12 +832,39 @@ Lun::actualReadTime(const RowAddress &row)
 }
 
 void
+Lun::injectReadFaults(PageLoad &load, std::uint32_t block,
+                      std::uint32_t page)
+{
+    auto &eng = fault::engine();
+    if (!eng.armed() || !load.programmed)
+        return;
+    std::uint32_t extra =
+        eng.onRead(name(), block, page, retryLevel_, curTick());
+    if (extra == 0)
+        return;
+    // Concentrate the burst inside the first codeword's data bytes so a
+    // capture starting at column 0 is guaranteed to hit it.
+    std::uint64_t span_bits =
+        std::min<std::uint64_t>(load.data.size(), 1024) * 8;
+    std::set<std::uint32_t> picked;
+    while (picked.size() < extra && picked.size() < span_bits) {
+        picked.insert(static_cast<std::uint32_t>(
+            eng.rng().uniform(0, span_bits - 1)));
+    }
+    for (std::uint32_t bit : picked) {
+        load.data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        load.flippedBits.push_back(bit);
+    }
+}
+
+void
 Lun::loadPageIntoPlane(const RowAddress &row)
 {
     Plane &pl = planes_[row.plane(cfg_.geometry)];
     bool slc_read = array_.isSlcBlock(row.block);
     PageLoad load = array_.readPage(row.block, row.page, retryLevel_,
                                     slc_read);
+    injectReadFaults(load, row.block, row.page);
     pl.dataReg = load.data;
     pl.dataFlips = std::move(load.flippedBits);
     pl.dataValid = true;
@@ -896,6 +955,7 @@ Lun::startCacheTurn(std::optional<RowAddress> next)
                 bool slc_read = array_.isSlcBlock(row.block);
                 PageLoad load = array_.readPage(row.block, row.page,
                                                 retryLevel_, slc_read);
+                injectReadFaults(load, row.block, row.page);
                 target.dataReg = load.data;
                 target.dataFlips = std::move(load.flippedBits);
                 target.dataValid = true;
@@ -950,6 +1010,13 @@ Lun::startProgram(bool cache_mode)
             }
             for (const RowAddress &row : rows) {
                 Plane &pl = planes_[row.plane(cfg_.geometry)];
+                if (fault::engine().onProgram(name(), row.block, row.page,
+                                              curTick())) {
+                    // Injected verify failure: the page never commits,
+                    // exactly as a real failed program leaves the array.
+                    failBit_ = true;
+                    continue;
+                }
                 ArrayStatus st = array_.programPage(row.block, row.page,
                                                     pl.cacheReg);
                 if (st != ArrayStatus::Ok) {
@@ -986,9 +1053,15 @@ Lun::startProgram(bool cache_mode)
         ardy_ = false;
         bgUntil_ = curTick() + prog_time;
         bgCompletion_ = [this, row, data = std::move(data)] {
-            ArrayStatus st = array_.programPage(row.block, row.page, data);
-            if (st != ArrayStatus::Ok)
+            if (fault::engine().onProgram(name(), row.block, row.page,
+                                          curTick())) {
                 failCBit_ = true;
+            } else {
+                ArrayStatus st =
+                    array_.programPage(row.block, row.page, data);
+                if (st != ArrayStatus::Ok)
+                    failCBit_ = true;
+            }
             ardy_ = true;
             ++completedPrograms_;
         };
@@ -1027,6 +1100,12 @@ Lun::startErase()
 
     startArrayOp(ArrayOp::Erase, dur, [this, blocks, slc_mode] {
         for (std::uint32_t block : blocks) {
+            if (fault::engine().onErase(name(), block, curTick())) {
+                // Injected erase-verify failure: the block keeps its
+                // old contents and the FAIL bit tells the controller.
+                failBit_ = true;
+                continue;
+            }
             if (array_.eraseBlock(block, slc_mode) != ArrayStatus::Ok)
                 failBit_ = true;
         }

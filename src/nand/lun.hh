@@ -210,6 +210,12 @@ class Lun : public SimObject
     void loadPageIntoPlane(const RowAddress &row);
     Tick actualReadTime(const RowAddress &row);
 
+    /** Apply any armed fault plan to a freshly-loaded page: extra bit
+     *  flips (bit-error burst / read-window drift) land in the first
+     *  ECC codeword so the corrector demonstrably gives up. */
+    void injectReadFaults(PageLoad &load, std::uint32_t block,
+                          std::uint32_t page);
+
     // Timing-guard plumbing.
     void requireIdleFor(std::uint8_t cmd) const;
 

@@ -33,9 +33,10 @@ toString(Check c)
 std::string
 Diagnostic::oneLine() const
 {
-    return strfmt("[%s] %s at %.3f us — %s: %s", audit::toString(check),
-                  rule.c_str(), ticks::toUs(at), where.c_str(),
-                  message.c_str());
+    return strfmt("%s[%s] %s at %.3f us — %s: %s",
+                  suppressed ? "[suppressed: fault-expected] " : "",
+                  audit::toString(check), rule.c_str(), ticks::toUs(at),
+                  where.c_str(), message.c_str());
 }
 
 Auditor &
@@ -120,7 +121,7 @@ Auditor::tapFifoWait(std::string_view unit, std::string_view label,
 
 void
 Auditor::report(Check check, std::string rule, std::string_view where,
-                Tick at, std::string message)
+                Tick at, std::string message, bool suppressed)
 {
     Diagnostic d;
     d.check = check;
@@ -130,8 +131,9 @@ Auditor::report(Check check, std::string rule, std::string_view where,
     d.at = at;
     d.span = obs::currentCtx();
     d.flight = flightDump();
+    d.suppressed = suppressed;
     diags_.push_back(d);
-    if (cfg_.throwOnDiagnostic) {
+    if (cfg_.throwOnDiagnostic && !suppressed) {
         std::fprintf(stderr,
                      "audit: %s\n--- flight recorder ---\n%s",
                      d.oneLine().c_str(), d.flight.c_str());
@@ -295,18 +297,41 @@ Auditor::flightDump() const
     return os.str();
 }
 
+std::size_t
+Auditor::unsuppressedCount() const
+{
+    std::size_t n = 0;
+    for (const Diagnostic &d : diags_)
+        if (!d.suppressed)
+            ++n;
+    return n;
+}
+
 void
 Auditor::writeReport(std::ostream &os) const
 {
-    if (diags_.empty()) {
+    const std::size_t counted = unsuppressedCount();
+    if (diags_.empty() || counted == 0) {
         os << strfmt("audit: clean — %llu segment(s) audited, "
-                     "0 diagnostics\n",
+                     "0 diagnostics",
                      static_cast<unsigned long long>(segments_));
-        return;
+        if (!diags_.empty()) {
+            os << strfmt(" (%zu fault-expected, suppressed)",
+                         diags_.size());
+        }
+        os << "\n";
+        if (diags_.empty())
+            return;
+    } else {
+        os << strfmt("audit: %zu diagnostic(s) over %llu segment(s)",
+                     counted,
+                     static_cast<unsigned long long>(segments_));
+        if (diags_.size() != counted) {
+            os << strfmt(" (+%zu fault-expected, suppressed)",
+                         diags_.size() - counted);
+        }
+        os << "\n";
     }
-    os << strfmt("audit: %zu diagnostic(s) over %llu segment(s)\n",
-                 diags_.size(),
-                 static_cast<unsigned long long>(segments_));
     for (std::size_t i = 0; i < diags_.size(); ++i) {
         const Diagnostic &d = diags_[i];
         os << strfmt("\n[%zu] %s\n", i + 1, d.oneLine().c_str());

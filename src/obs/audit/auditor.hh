@@ -135,11 +135,20 @@ class Auditor
      * Record a violation. In sanitizer mode this prints the flight dump
      * and panics; in collector mode the Diagnostic (with span context
      * and flight dump) is stored for the end-of-run report.
+     *
+     * @p suppressed marks the violation as expected fallout of an
+     * injected fault (the caller consulted the fault engine): it is
+     * stored tagged for the report but never panics and never fails
+     * the run.
      */
     void report(Check check, std::string rule, std::string_view where,
-                Tick at, std::string message);
+                Tick at, std::string message, bool suppressed = false);
 
     const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+
+    /** Diagnostics that actually count against the run. */
+    std::size_t unsuppressedCount() const;
+
     void clearDiagnostics() { diags_.clear(); }
 
     /** Segments audited since arm() (for "audit clean" reporting). */

@@ -40,6 +40,11 @@ struct Diagnostic
     SpanId span = kNoSpan; //!< ambient span context when it fired
     std::string flight;    //!< flight-recorder dump (rendered timeline)
 
+    /** The violation fell inside an armed fault plan's suppression
+     *  window: expected fallout of an injected fault, not a bug. Kept
+     *  in the report for transparency but never fails a run. */
+    bool suppressed = false;
+
     /** One-line summary (no flight dump). */
     std::string oneLine() const;
 };

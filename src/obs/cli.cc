@@ -101,7 +101,8 @@ Options::finalize() const
         aud.writeReport(out);
         std::printf("wrote audit report to %s\n", auditOut.c_str());
     }
-    return aud.diagnostics().empty() ? 0 : 1;
+    // Suppressed (fault-expected) diagnostics never fail the run.
+    return aud.unsuppressedCount() == 0 ? 0 : 1;
 }
 
 } // namespace babol::obs::cli

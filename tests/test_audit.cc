@@ -14,6 +14,7 @@
 #include <cstring>
 
 #include "chan/bus.hh"
+#include "fault/fault_engine.hh"
 #include "ftl/ftl.hh"
 #include "host/fio.hh"
 #include "nand/param_page.hh"
@@ -247,6 +248,63 @@ TEST_F(AuditTest, ShortenedTwbCaughtAgainstDatasheetWithFlightDump)
     // started the array op, then the status poll that came too soon.
     EXPECT_NE(d->flight.find("read.ca"), std::string::npos);
     EXPECT_NE(d->flight.find("poll"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Fault-expected suppression: violations inside an injected fault's
+// window are tagged, counted separately, and never fail the run
+// ---------------------------------------------------------------------
+
+TEST_F(AuditTest, FaultExpectedViolationIsSuppressedNotDoubleReported)
+{
+    // A stuck-busy strike on this package opens a long suppression
+    // window on its LUN.
+    fault::FaultPlan plan;
+    plan.seed = 5;
+    fault::FaultSpec spec;
+    spec.kind = fault::FaultKind::StuckBusy;
+    spec.where = "pkg";
+    spec.extraBusy = 100 * ticks::perUs;
+    spec.suppressTicks = 50 * ticks::perMs;
+    plan.faults.push_back(spec);
+    fault::engine().arm(plan);
+
+    // Sanitizer semantics: any unsuppressed diagnostic must panic.
+    audit::Auditor::Config cfg;
+    cfg.throwOnDiagnostic = true;
+    cfg.enableTrace = true;
+    audit::Auditor::instance().arm(cfg);
+
+    AuditRig rig;
+    rig.run(rig.readLatch(0, 0)); // strikes: array op overruns by 100 us
+    ASSERT_EQ(fault::engine().injectedTotal(), 1u);
+
+    // Illegal second READ dialog while the (faulted) array is busy.
+    // The guard fires exactly once, tagged fault-expected — no panic,
+    // and no second report from the legacy panic path.
+    EXPECT_NO_THROW(rig.run(rig.readLatch(0, 1)));
+
+    ASSERT_GE(countRule("lun.busy"), 1u);
+    for (const audit::Diagnostic &d : diags())
+        EXPECT_TRUE(d.suppressed) << d.rule << ": " << d.message;
+    EXPECT_GE(fault::engine().suppressedViolations(), 1u);
+    EXPECT_EQ(audit::Auditor::instance().unsuppressedCount(), 0u);
+
+    fault::engine().disarm();
+}
+
+TEST_F(AuditTest, ViolationOutsideTheFaultWindowStillPanics)
+{
+    fault::engine().disarm(); // no campaign: full sanitizer semantics
+
+    audit::Auditor::Config cfg;
+    cfg.throwOnDiagnostic = true;
+    cfg.enableTrace = true;
+    audit::Auditor::instance().arm(cfg);
+
+    AuditRig rig;
+    rig.run(rig.readLatch(0, 0));
+    EXPECT_THROW(rig.run(rig.readLatch(0, 1)), SimPanic);
 }
 
 // ---------------------------------------------------------------------
