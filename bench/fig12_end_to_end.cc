@@ -10,12 +10,14 @@
  * ARM, as in the paper.
  */
 
+#include <cstdlib>
 #include <iostream>
 
 #include "bench_common.hh"
 #include "ftl/ftl.hh"
 #include "host/fio.hh"
 #include "obs/cli.hh"
+#include "ssd/sharded_ssd.hh"
 
 using namespace babol;
 using namespace babol::bench;
@@ -68,12 +70,68 @@ runSsd(const std::string &flavor, std::uint32_t ways, bool random_pattern)
     return engine.bandwidthMBps();
 }
 
+/**
+ * The same Fig. 12 workload on the channel-sharded multi-core engine:
+ * a multi-channel device whose channels run on worker threads behind
+ * the conservative-lookahead windows. The returned bandwidth is a pure
+ * function of the model — byte-identical at any @p threads — which the
+ * CI scaling smoke checks by diffing this mode's output across thread
+ * counts.
+ */
+double
+runShardedSsd(const std::string &flavor, std::uint32_t channels,
+              std::uint32_t ways, bool random_pattern,
+              std::uint32_t threads)
+{
+    ssd::SsdConfig cfg;
+    cfg.channels = channels;
+    cfg.flavor = flavor == "hw" ? "hw-async" : flavor;
+    cfg.channel.package = nand::hynixPackage();
+    cfg.channel.chips = ways;
+    cfg.channel.rateMT = 200;
+    cfg.channel.seed = 5;
+    cfg.cpuMhz = 1000;
+    ssd::ShardedSsd dev("ssd", cfg);
+
+    ftl::FtlConfig fcfg;
+    fcfg.blocksPerChip = 4;
+    fcfg.overprovision = 0.25;
+    ftl::PageFtl ftl(dev.hostQueue(), "ftl", dev, fcfg);
+
+    const std::uint64_t extent = 64ull * channels * ways;
+
+    host::FioConfig fill_cfg;
+    fill_cfg.queueDepth = 2 * channels * ways;
+    fill_cfg.dramBase = 0;
+    host::FioEngine filler(dev.hostQueue(), "fill", ftl, fill_cfg);
+    bool filled = false;
+    filler.fill(extent, [&] { filled = true; });
+    dev.run(threads);
+    babol_assert(filled, "fill never completed");
+
+    host::FioConfig cfg_io;
+    cfg_io.pattern = random_pattern ? host::FioConfig::Pattern::Random
+                                    : host::FioConfig::Pattern::Sequential;
+    cfg_io.queueDepth = 32;
+    cfg_io.extentPages = extent;
+    cfg_io.totalIos = 300;
+    cfg_io.dramBase = 8 << 20;
+    cfg_io.seed = 99;
+    host::FioEngine engine(dev.hostQueue(), "fio", ftl, cfg_io);
+    bool done = false;
+    engine.start([&] { done = true; });
+    dev.run(threads);
+    babol_assert(done && engine.errors() == 0, "fio run failed");
+    return engine.bandwidthMBps();
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool quick = false, csv = false;
+    std::uint32_t threads = 0; // 0 = classic single-queue engine
     obs::cli::Options obs_opts;
     for (int i = 1; i < argc; ++i) {
         if (obs_opts.parse(argc, argv, i))
@@ -82,8 +140,34 @@ main(int argc, char **argv)
             quick = true;
         if (std::string(argv[i]) == "--csv")
             csv = true;
+        if (std::string(argv[i]) == "--threads" && i + 1 < argc)
+            threads = std::strtoul(argv[++i], nullptr, 10);
     }
     obs_opts.applyStartup();
+
+    if (threads > 0) {
+        // Sharded-engine mode: the output depends only on the model, so
+        // runs at different --threads must print identical tables.
+        const std::uint32_t channels = quick ? 2 : 4;
+        const std::uint32_t ways = quick ? 2 : 4;
+        std::cout << "FIGURE 12 (sharded engine): " << channels
+                  << "-channel x " << ways << "-way READ bandwidth "
+                  << "(MB/s)\n\n";
+        Table table({"Controller", "sequential", "random"});
+        for (std::string flavor : {"hw", "rtos", "coro"}) {
+            table.addRow(
+                {flavor == "hw" ? "Cosmos+ baseline (hw)" : flavor,
+                 Table::num(runShardedSsd(flavor, channels, ways, false,
+                                          threads), 1),
+                 Table::num(runShardedSsd(flavor, channels, ways, true,
+                                          threads), 1)});
+        }
+        if (csv)
+            table.printCsv(std::cout);
+        else
+            table.print(std::cout);
+        return obs_opts.finalize();
+    }
 
     std::cout << "FIGURE 12: END-TO-END SSD READ BANDWIDTH (MB/s)\n"
               << "Hynix packages, 200 MT/s channel, fio-style workloads, "

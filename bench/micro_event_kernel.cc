@@ -18,12 +18,30 @@
  *     the tax tracing imposes when it is not in use (CI guards this
  *     against the plain kernel).
  *
+ * Every phase runs three times, INTERLEAVED round-robin (seed, kernel,
+ * obs-off, seed, ...), and the reported figure is the per-phase median.
+ * Interleaving matters: back-to-back runs of the same phase see the
+ * same frequency/cache drift, which once produced a negative "overhead"
+ * for the obs build simply because it ran last. All three samples are
+ * kept in the JSON so drift stays visible.
+ *
+ * A final sweep runs the sharded ParallelEngine — 16 single-channel-
+ * style shards exchanging cross-shard messages — at 1/2/4/8/16 worker
+ * threads and records aggregate events/sec per thread count, the
+ * machine's core count, and the windowing stats. On a 16-core machine
+ * the curve is expected to reach >= 8x self-relative; on fewer cores
+ * the curve saturates at the core count and the JSON says so.
+ *
  * Heap traffic is counted by overriding global operator new, so the
- * zero-allocation claim covers everything, not just the pool. Results
- * are written as JSON to BENCH_event_kernel.json at the repo root (or
- * --out PATH) so the perf trajectory is tracked across PRs.
+ * zero-allocation claim covers everything, not just the pool. The
+ * counter is a relaxed atomic: the sharded sweep allocates from several
+ * threads at once. Results are written as JSON to
+ * BENCH_event_kernel.json at the repo root (or --out PATH) so the perf
+ * trajectory is tracked across PRs.
  */
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <chrono>
@@ -34,21 +52,25 @@
 #include <new>
 #include <queue>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/hub.hh"
 #include "sim/event_queue.hh"
+#include "sim/parallel.hh"
 
 // ---------------------------------------------------------------------
-// Global allocation counter (single-threaded bench; no atomics needed).
+// Global allocation counter (relaxed atomic: the sharded sweep runs
+// multi-threaded; single-threaded phases pay the same small tax
+// uniformly, so relative figures are unaffected).
 // ---------------------------------------------------------------------
 
-static std::uint64_t g_allocCount = 0;
+static std::atomic<std::uint64_t> g_allocCount{0};
 
 void *
 operator new(std::size_t n)
 {
-    ++g_allocCount;
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
     if (void *p = std::malloc(n))
         return p;
     throw std::bad_alloc();
@@ -253,7 +275,8 @@ runKernel(Queue &eq, std::uint64_t warmup, std::uint64_t measured)
         eq.step();
 
     const std::uint64_t fired0 = driver.fired_;
-    const std::uint64_t allocs0 = g_allocCount;
+    const std::uint64_t allocs0 =
+        g_allocCount.load(std::memory_order_relaxed);
     const auto t0 = std::chrono::steady_clock::now();
     while (driver.fired_ < fired0 + measured)
         eq.step();
@@ -263,9 +286,77 @@ runKernel(Queue &eq, std::uint64_t warmup, std::uint64_t measured)
     p.fired = driver.fired_ - fired0;
     const double sec = std::chrono::duration<double>(t1 - t0).count();
     p.eventsPerSec = sec > 0 ? static_cast<double>(p.fired) / sec : 0;
-    p.allocsPerEvent = static_cast<double>(g_allocCount - allocs0) /
-                       static_cast<double>(p.fired);
+    p.allocsPerEvent =
+        static_cast<double>(g_allocCount.load(std::memory_order_relaxed) -
+                            allocs0) /
+        static_cast<double>(p.fired);
     return p;
+}
+
+/** The run whose events/sec is the median of the three samples. */
+const Phase &
+medianPhase(const Phase (&runs)[3])
+{
+    const Phase *p[3] = {&runs[0], &runs[1], &runs[2]};
+    std::sort(p, p + 3, [](const Phase *a, const Phase *b) {
+        return a->eventsPerSec < b->eventsPerSec;
+    });
+    return *p[1];
+}
+
+// ---------------------------------------------------------------------
+// Sharded scaling sweep: the same actor workload on every shard of a
+// ParallelEngine, with a cross-shard message ring so the conservative
+// windows are exercised, bounded by simulated time.
+// ---------------------------------------------------------------------
+
+struct ShardedPoint
+{
+    std::uint32_t threads = 0;
+    double eventsPerSec = 0;
+    std::uint64_t fired = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t messages = 0;
+};
+
+ShardedPoint
+runSharded(std::uint32_t shards, std::uint32_t threads, Tick until)
+{
+    const Tick lookahead = 50 * babol::ticks::perNs;
+    babol::sim::ParallelEngine pe(shards, lookahead);
+
+    std::vector<std::unique_ptr<Driver<babol::EventQueue>>> drivers;
+    drivers.reserve(shards);
+    for (std::uint32_t s = 0; s < shards; ++s) {
+        drivers.push_back(
+            std::make_unique<Driver<babol::EventQueue>>(pe.queue(s)));
+        drivers.back()->start();
+    }
+
+    // A message ring: each shard forwards a token to its neighbour every
+    // 100 us of simulated time, keeping every link and window busy.
+    auto forward = std::make_shared<std::function<void(std::uint32_t)>>();
+    *forward = [&pe, shards, forward](std::uint32_t s) {
+        const std::uint32_t to = (s + 1) % shards;
+        const Tick when =
+            pe.queue(s).now() + 100 * babol::ticks::perUs;
+        pe.post(s, to, when, [forward, to] { (*forward)(to); });
+    };
+    for (std::uint32_t s = 0; s < shards; ++s)
+        (*forward)(s);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t fired = pe.run(threads, until);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    ShardedPoint pt;
+    pt.threads = threads;
+    pt.fired = fired;
+    const double sec = std::chrono::duration<double>(t1 - t0).count();
+    pt.eventsPerSec = sec > 0 ? static_cast<double>(fired) / sec : 0;
+    pt.windows = pe.windowCount();
+    pt.messages = pe.crossShardMessages();
+    return pt;
 }
 
 } // namespace
@@ -274,12 +365,14 @@ int
 main(int argc, char **argv)
 {
     std::uint64_t measured = 2000000;
+    Tick shardedUntil = babol::ticks::fromUs(12000);
     std::string out = std::string(BABOL_SOURCE_DIR) +
                       "/BENCH_event_kernel.json";
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--quick") {
             measured = 200000;
+            shardedUntil = babol::ticks::fromUs(1500);
         } else if (arg == "--out" && i + 1 < argc) {
             out = argv[++i];
         } else {
@@ -289,18 +382,26 @@ main(int argc, char **argv)
     }
     const std::uint64_t warmup = measured / 10;
 
-    SeedEventQueue seedQ;
-    Phase seed = runKernel(seedQ, warmup, measured);
+    // Three interleaved rounds of the three single-threaded phases.
+    Phase seedRuns[3], kernelRuns[3], obsRuns[3];
+    babol::EventQueue::PoolStats stats{};
+    for (int r = 0; r < 3; ++r) {
+        SeedEventQueue seedQ;
+        seedRuns[r] = runKernel(seedQ, warmup, measured);
 
-    babol::EventQueue eq;
-    Phase kernel = runKernel(eq, warmup, measured);
-    const auto stats = eq.poolStats();
+        babol::EventQueue eq;
+        kernelRuns[r] = runKernel(eq, warmup, measured);
+        stats = eq.poolStats();
 
-    // Tracing compiled in, recording disabled.
-    babol::obs::hub().reset();
-    babol::EventQueue eqObs;
-    Phase obsOff = runKernel<babol::EventQueue, true>(eqObs, warmup,
-                                                      measured);
+        babol::obs::hub().reset();
+        babol::EventQueue eqObs;
+        obsRuns[r] = runKernel<babol::EventQueue, true>(eqObs, warmup,
+                                                        measured);
+    }
+    const Phase &seed = medianPhase(seedRuns);
+    const Phase &kernel = medianPhase(kernelRuns);
+    const Phase &obsOff = medianPhase(obsRuns);
+
     const double obsOverheadPct =
         kernel.eventsPerSec > 0
             ? (kernel.eventsPerSec - obsOff.eventsPerSec) /
@@ -316,42 +417,82 @@ main(int argc, char **argv)
                                       stats.outlineCallbacks)
             : 0;
 
-    char buf[2048];
-    std::snprintf(
-        buf, sizeof(buf),
-        "{\n"
-        "  \"bench\": \"micro_event_kernel\",\n"
-        "  \"measured_events\": %llu,\n"
-        "  \"seed_events_per_sec\": %.0f,\n"
-        "  \"seed_allocs_per_event\": %.4f,\n"
-        "  \"kernel_events_per_sec\": %.0f,\n"
-        "  \"kernel_allocs_per_event\": %.4f,\n"
-        "  \"kernel_obs_disabled_events_per_sec\": %.0f,\n"
-        "  \"kernel_obs_disabled_allocs_per_event\": %.4f,\n"
-        "  \"obs_disabled_overhead_pct\": %.2f,\n"
-        "  \"speedup\": %.2f,\n"
-        "  \"inline_callback_hit_rate\": %.4f,\n"
-        "  \"pool_capacity\": %llu,\n"
-        "  \"pool_high_water\": %llu,\n"
-        "  \"wheel_inserts\": %llu,\n"
-        "  \"heap_inserts\": %llu,\n"
-        "  \"ready_inserts\": %llu,\n"
-        "  \"compactions\": %llu\n"
-        "}\n",
-        static_cast<unsigned long long>(measured), seed.eventsPerSec,
-        seed.allocsPerEvent, kernel.eventsPerSec, kernel.allocsPerEvent,
-        obsOff.eventsPerSec, obsOff.allocsPerEvent, obsOverheadPct,
-        speedup, inlineRate,
-        static_cast<unsigned long long>(stats.poolCapacity),
-        static_cast<unsigned long long>(stats.poolHighWater),
-        static_cast<unsigned long long>(stats.wheelInserts),
-        static_cast<unsigned long long>(stats.heapInserts),
-        static_cast<unsigned long long>(stats.readyInserts),
-        static_cast<unsigned long long>(stats.compactions));
+    // Sharded scaling curve: 16 shards at 1/2/4/8/16 workers.
+    const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+    const std::uint32_t kShards = 16;
+    std::vector<ShardedPoint> curve;
+    for (std::uint32_t t : {1u, 2u, 4u, 8u, 16u})
+        curve.push_back(runSharded(kShards, t, shardedUntil));
+    const double base =
+        curve.front().eventsPerSec > 0 ? curve.front().eventsPerSec : 1;
 
-    std::cout << buf;
+    std::string json;
+    char buf[1024];
+    auto emit = [&](const char *fmt, auto... args) {
+        std::snprintf(buf, sizeof(buf), fmt, args...);
+        json += buf;
+    };
+
+    emit("{\n"
+         "  \"bench\": \"micro_event_kernel\",\n"
+         "  \"measured_events\": %llu,\n",
+         static_cast<unsigned long long>(measured));
+    emit("  \"seed_events_per_sec\": %.0f,\n", seed.eventsPerSec);
+    emit("  \"seed_events_per_sec_runs\": [%.0f, %.0f, %.0f],\n",
+         seedRuns[0].eventsPerSec, seedRuns[1].eventsPerSec,
+         seedRuns[2].eventsPerSec);
+    emit("  \"seed_allocs_per_event\": %.4f,\n", seed.allocsPerEvent);
+    emit("  \"kernel_events_per_sec\": %.0f,\n", kernel.eventsPerSec);
+    emit("  \"kernel_events_per_sec_runs\": [%.0f, %.0f, %.0f],\n",
+         kernelRuns[0].eventsPerSec, kernelRuns[1].eventsPerSec,
+         kernelRuns[2].eventsPerSec);
+    emit("  \"kernel_allocs_per_event\": %.4f,\n", kernel.allocsPerEvent);
+    emit("  \"kernel_obs_disabled_events_per_sec\": %.0f,\n",
+         obsOff.eventsPerSec);
+    emit("  \"kernel_obs_disabled_events_per_sec_runs\": "
+         "[%.0f, %.0f, %.0f],\n",
+         obsRuns[0].eventsPerSec, obsRuns[1].eventsPerSec,
+         obsRuns[2].eventsPerSec);
+    emit("  \"kernel_obs_disabled_allocs_per_event\": %.4f,\n",
+         obsOff.allocsPerEvent);
+    emit("  \"obs_disabled_overhead_pct\": %.2f,\n", obsOverheadPct);
+    emit("  \"speedup\": %.2f,\n", speedup);
+    emit("  \"inline_callback_hit_rate\": %.4f,\n", inlineRate);
+    emit("  \"pool_capacity\": %llu,\n",
+         static_cast<unsigned long long>(stats.poolCapacity));
+    emit("  \"pool_high_water\": %llu,\n",
+         static_cast<unsigned long long>(stats.poolHighWater));
+    emit("  \"wheel_inserts\": %llu,\n",
+         static_cast<unsigned long long>(stats.wheelInserts));
+    emit("  \"heap_inserts\": %llu,\n",
+         static_cast<unsigned long long>(stats.heapInserts));
+    emit("  \"ready_inserts\": %llu,\n",
+         static_cast<unsigned long long>(stats.readyInserts));
+    emit("  \"compactions\": %llu,\n",
+         static_cast<unsigned long long>(stats.compactions));
+
+    emit("  \"machine_cores\": %u,\n", cores);
+    emit("  \"sharded_shards\": %u,\n", kShards);
+    emit("  \"sharded_scaling\": [\n");
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+        const ShardedPoint &p = curve[i];
+        emit("    {\"threads\": %u, \"events_per_sec\": %.0f, "
+             "\"self_relative\": %.2f, \"windows\": %llu, "
+             "\"cross_shard_msgs\": %llu}%s\n",
+             p.threads, p.eventsPerSec, p.eventsPerSec / base,
+             static_cast<unsigned long long>(p.windows),
+             static_cast<unsigned long long>(p.messages),
+             i + 1 < curve.size() ? "," : "");
+    }
+    emit("  ],\n");
+    emit("  \"sharded_scaling_note\": \"self-relative speedup saturates "
+         "at min(threads, machine_cores, shards); the >=8x acceptance "
+         "target applies on a >=16-core machine\"\n");
+    emit("}\n");
+
+    std::cout << json;
     std::ofstream ofs(out);
-    ofs << buf;
+    ofs << json;
     if (!ofs) {
         std::cerr << "\nerror: cannot write " << out << "\n";
         return 2;

@@ -8,6 +8,7 @@
  *   $ ./examples/ssd_fio [coro|rtos|hw] [--trace-out t.json]
  *                        [--metrics-out m.json] [--audit[=report]]
  *                        [--faults plan.txt]
+ *                        [--fleet N] [--streams M] [--threads T]
  *
  * --trace-out writes a Chrome trace_event JSON of the measured READ
  * phases (load it at ui.perfetto.dev); --metrics-out dumps the
@@ -17,11 +18,21 @@
  * with the given plan (see src/fault/fault_plan.hh for the format),
  * enables the recovery machinery (read-retry budget on every flavour),
  * and prints the injection/recovery ledger at exit.
+ *
+ * --fleet N switches to fleet mode: N fully independent mini-SSDs, each
+ * running M random-read streams (--streams, default 1) after its fill,
+ * spread over T OS threads (--threads, default 1). Every member gets a
+ * private metrics registry, trace ring, fault engine, and a
+ * deterministic per-member seed, so results are byte-identical at any
+ * T; the per-member report and the fleet aggregate prove it.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <vector>
 
 #include "core/coro/coro_controller.hh"
 #include "core/hw/hw_controller.hh"
@@ -29,17 +40,175 @@
 #include "fault/fault_engine.hh"
 #include "ftl/ftl.hh"
 #include "host/fio.hh"
+#include "obs/audit/auditor.hh"
 #include "obs/cli.hh"
 #include "obs/perfetto.hh"
+#include "sim/fleet.hh"
 
 using namespace babol;
 using namespace babol::core;
+
+namespace {
+
+struct StreamResult
+{
+    double mbps = 0;
+    double iops = 0;
+    double p99us = 0;
+};
+
+struct MemberResult
+{
+    double fillMBps = 0;
+    std::vector<StreamResult> streams;
+    std::uint64_t injected = 0;
+};
+
+std::unique_ptr<ChannelController>
+makeController(EventQueue &eq, const std::string &flavor, ChannelSystem &sys,
+               bool campaign)
+{
+    SoftControllerConfig soft_cfg;
+    if (campaign)
+        soft_cfg.maxReadRetries = 4;
+    if (flavor == "coro")
+        return std::make_unique<CoroController>(eq, "ctrl", sys, soft_cfg);
+    if (flavor == "rtos")
+        return std::make_unique<RtosController>(eq, "ctrl", sys, soft_cfg);
+    if (flavor == "hw") {
+        auto hw = std::make_unique<HwController>(eq, "ctrl", sys, false);
+        if (campaign)
+            hw->setMaxReadRetries(4);
+        return hw;
+    }
+    fatal("usage: ssd_fio [coro|rtos|hw]");
+    return nullptr;
+}
+
+/** One fleet member, built and run entirely inside the caller's scoped
+ *  obs/audit contexts. */
+MemberResult
+runMember(const std::string &flavor, const fault::FaultPlan *plan,
+          std::uint64_t seed, std::uint32_t streams)
+{
+    fault::FaultEngine faults;
+    if (plan)
+        faults.arm(*plan);
+
+    EventQueue eq;
+    ChannelConfig cfg;
+    cfg.package = nand::hynixPackage();
+    cfg.chips = 8;
+    cfg.rateMT = 200;
+    cfg.seed = seed;
+    cfg.package.faults = &faults;
+    ChannelSystem sys(eq, "ssd", cfg);
+    auto ctrl = makeController(eq, flavor, sys, plan != nullptr);
+
+    ftl::FtlConfig fcfg;
+    fcfg.blocksPerChip = 4;
+    fcfg.overprovision = 0.25;
+    ftl::PageFtl ftl(eq, "ftl", *ctrl, fcfg);
+
+    MemberResult res;
+    const std::uint64_t extent = ftl.logicalPages() / 2;
+    host::FioConfig fill_cfg;
+    fill_cfg.queueDepth = 16;
+    host::FioEngine filler(eq, "fill", ftl, fill_cfg);
+    bool filled = false;
+    filler.fill(extent, [&] { filled = true; });
+    eq.run();
+    if (!filled)
+        fatal("fleet member fill did not complete");
+    res.fillMBps = filler.bandwidthMBps();
+
+    for (std::uint32_t s = 0; s < streams; ++s) {
+        host::FioConfig io;
+        io.pattern = host::FioConfig::Pattern::Random;
+        io.queueDepth = 32;
+        io.extentPages = extent;
+        io.totalIos = 400;
+        io.dramBase = 16 << 20;
+        io.seed = sim::FleetEngine::memberSeed(seed, s + 1);
+        host::FioEngine engine(eq, "fio", ftl, io);
+        bool done = false;
+        engine.start([&] { done = true; });
+        eq.run();
+        if (!done || engine.errors())
+            fatal("fleet member fio stream failed");
+        res.streams.push_back({engine.bandwidthMBps(), engine.iops(),
+                               engine.latencyUs().percentile(99)});
+    }
+    res.injected = faults.injectedTotal();
+    return res;
+}
+
+int
+runFleet(const std::string &flavor, const fault::FaultPlan *plan,
+         std::size_t fleet, std::uint32_t streams, std::uint32_t threads)
+{
+    std::printf("fleet: %zu mini-SSDs x %u stream(s) on %u thread(s), "
+                "%s controller\n",
+                fleet, streams, threads, flavor.c_str());
+
+    std::vector<MemberResult> results(fleet);
+    std::vector<std::unique_ptr<obs::ExecContext>> ctxs(fleet);
+    std::vector<std::unique_ptr<obs::audit::Auditor>> auditors(fleet);
+    for (std::size_t m = 0; m < fleet; ++m) {
+        // Private registry + trace ring per member; shard id = member.
+        ctxs[m] = std::make_unique<obs::ExecContext>(
+            obs::interner(), static_cast<std::uint32_t>(m));
+        auditors[m] = obs::audit::Auditor::makeShard(
+            obs::audit::Auditor::instance());
+    }
+
+    sim::FleetEngine::run(fleet, threads, [&](std::size_t m) {
+        obs::ScopedExecContext obsCtx(ctxs[m].get());
+        obs::audit::ScopedAuditor audCtx(auditors[m].get());
+        results[m] = runMember(
+            flavor, plan, sim::FleetEngine::memberSeed(1, m), streams);
+    });
+
+    double sumIops = 0, sumMBps = 0, worstP99 = 0;
+    std::uint64_t injected = 0;
+    for (std::size_t m = 0; m < fleet; ++m) {
+        const MemberResult &r = results[m];
+        for (const StreamResult &s : r.streams) {
+            std::printf("  member %2zu: %7.1f MB/s  %8.0f IOPS  "
+                        "p99 = %.0f us\n", m, s.mbps, s.iops, s.p99us);
+            sumIops += s.iops;
+            sumMBps += s.mbps;
+            worstP99 = std::max(worstP99, s.p99us);
+        }
+        injected += r.injected;
+        obs::audit::Auditor::instance().absorb(*auditors[m]);
+    }
+    std::printf("fleet aggregate: %.1f MB/s, %.0f IOPS, worst p99 %.0f us",
+                sumMBps, sumIops, worstP99);
+    if (plan)
+        std::printf(", %llu fault(s) injected",
+                    static_cast<unsigned long long>(injected));
+    std::printf("\n");
+
+    const std::size_t bad =
+        obs::audit::Auditor::instance().unsuppressedCount();
+    if (bad) {
+        std::printf("fleet audit: %zu diagnostic(s)\n", bad);
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string flavor = "coro";
     std::string fault_plan_path;
+    std::size_t fleet = 0;
+    std::uint32_t streams = 1;
+    std::uint32_t threads = 1;
     obs::cli::Options obs_opts;
     for (int i = 1; i < argc; ++i) {
         if (obs_opts.parse(argc, argv, i))
@@ -52,22 +221,46 @@ main(int argc, char **argv)
             fault_plan_path = argv[i] + 9;
             continue;
         }
+        if (std::strcmp(argv[i], "--fleet") == 0 && i + 1 < argc) {
+            fleet = std::strtoul(argv[++i], nullptr, 10);
+            continue;
+        }
+        if (std::strcmp(argv[i], "--streams") == 0 && i + 1 < argc) {
+            streams = std::strtoul(argv[++i], nullptr, 10);
+            continue;
+        }
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            threads = std::strtoul(argv[++i], nullptr, 10);
+            continue;
+        }
         if (argv[i][0] != '-')
             flavor = argv[i];
         else
-            fatal("usage: ssd_fio [coro|rtos|hw] [--faults plan.txt] %s",
+            fatal("usage: ssd_fio [coro|rtos|hw] [--faults plan.txt] "
+                  "[--fleet N] [--streams M] [--threads T] %s",
                   obs::cli::Options::usage());
     }
     obs_opts.applyStartup();
 
+    fault::FaultPlan plan;
+    bool have_plan = false;
     if (!fault_plan_path.empty()) {
-        fault::FaultPlan plan = fault::loadPlanFile(fault_plan_path);
-        fault::engine().arm(plan);
+        plan = fault::loadPlanFile(fault_plan_path);
+        have_plan = true;
         std::printf("fault campaign: %zu spec(s), seed %llu (%s)\n",
                     plan.faults.size(),
                     static_cast<unsigned long long>(plan.seed),
                     fault_plan_path.c_str());
     }
+
+    if (fleet > 0)
+        return runFleet(flavor, have_plan ? &plan : nullptr, fleet,
+                        streams, threads);
+
+    // --- Classic single-device run (the device arms the process-default
+    // engine: no device object owns one here) ---
+    if (have_plan)
+        fault::engine().arm(plan);
 
     EventQueue eq;
     ChannelConfig cfg;
@@ -76,24 +269,7 @@ main(int argc, char **argv)
     cfg.rateMT = 200;
     ChannelSystem sys(eq, "ssd", cfg);
 
-    // Under a fault campaign, every flavour gets a read-retry budget so
-    // injected bit bursts and drift are recoverable rather than fatal.
-    SoftControllerConfig soft_cfg;
-    if (fault::engine().armed())
-        soft_cfg.maxReadRetries = 4;
-
-    std::unique_ptr<ChannelController> ctrl;
-    if (flavor == "coro")
-        ctrl = std::make_unique<CoroController>(eq, "ctrl", sys, soft_cfg);
-    else if (flavor == "rtos")
-        ctrl = std::make_unique<RtosController>(eq, "ctrl", sys, soft_cfg);
-    else if (flavor == "hw") {
-        auto hw = std::make_unique<HwController>(eq, "ctrl", sys, false);
-        if (fault::engine().armed())
-            hw->setMaxReadRetries(4);
-        ctrl = std::move(hw);
-    } else
-        fatal("usage: ssd_fio [coro|rtos|hw]");
+    auto ctrl = makeController(eq, flavor, sys, fault::engine().armed());
 
     ftl::FtlConfig fcfg;
     fcfg.blocksPerChip = 4;

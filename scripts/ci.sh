@@ -6,16 +6,26 @@
 # chiefly for the event kernel's pool / free-list / intrusive-list code,
 # where a stale index or double release would otherwise corrupt silently.
 #
+# The TSan pass (-DBABOL_TSAN=ON) covers the sharded multi-core engine:
+# the tier-1 suite plus the seeded fig12 workload on 4 worker threads,
+# so every cross-shard ring, barrier, and merged-trace path runs under
+# the race detector.
+#
 # Stages (all run when no flag is given; CI runs them as separate jobs):
 #   --plain-only   configure/build/ctest, default flags
 #   --asan-only    configure/build/ctest with ASan + UBSan
+#   --tsan-only    configure/build/ctest with TSan + the sharded fig12
+#                  workload on 4 threads
 #   --audit-only   BABOL_AUDIT=1 sanitizer sweep + fault campaigns on
-#                  every controller flavour (requires a prior plain
-#                  build; runs one if build/ is missing)
-#   --guard-only   bench-regression + tracing-overhead guards (same
-#                  build requirement)
+#                  every controller flavour, plus the sharded engine at
+#                  1/2/4 threads (requires a prior plain build; runs one
+#                  if build/ is missing)
+#   --guard-only   bench-regression + tracing-overhead guards and the
+#                  sharded determinism smoke: fig12 --threads 1/2/4 must
+#                  print byte-identical tables (same build requirement)
 #
-# Usage: scripts/ci.sh [--plain-only|--asan-only|--audit-only|--guard-only]
+# Usage: scripts/ci.sh
+#   [--plain-only|--asan-only|--tsan-only|--audit-only|--guard-only]
 
 set -euo pipefail
 
@@ -47,6 +57,14 @@ stage_asan() {
     run_suite "$ROOT/build-asan" -DBABOL_SANITIZE=ON
 }
 
+stage_tsan() {
+    echo "=== tier-1: TSan ==="
+    run_suite "$ROOT/build-tsan" -DBABOL_TSAN=ON
+    echo "=== tier-1: TSan sharded fig12 (4 threads) ==="
+    "$ROOT/build-tsan/bench/fig12_end_to_end" --quick --threads 4 \
+        >/dev/null
+}
+
 # ONFI conformance audit: the whole suite and the figure benches run
 # with the online auditor armed as a sanitizer (BABOL_AUDIT=1 panics on
 # the first unsuppressed diagnostic), plus collector-mode (--audit)
@@ -62,6 +80,16 @@ stage_audit() {
     BABOL_AUDIT=1 "$ROOT/build/bench/fig11_polling_breakdown" >/dev/null
     BABOL_AUDIT=1 "$ROOT/build/bench/fig12_end_to_end" --quick >/dev/null
     "$ROOT/build/examples/ssd_fio" coro --audit | tail -3
+
+    # The sharded engine must audit clean at every thread count: the
+    # auditor runs per-shard and its ledgers are absorbed at barriers,
+    # so a miscounted absorb would show up here as a panic.
+    echo "=== tier-1: sharded-engine audit (1/2/4 threads) ==="
+    local t
+    for t in 1 2 4; do
+        BABOL_AUDIT=1 "$ROOT/build/bench/fig12_end_to_end" --quick \
+            --threads "$t" >/dev/null
+    done
 
     echo "=== tier-1: fault campaigns (every flavour, audit-clean) ==="
     mkdir -p "$ROOT/build/audit-reports"
@@ -126,22 +154,44 @@ stage_guard() {
             exit 1
         }
     fi
+
+    # Sharded determinism smoke: the fig12 workload on the sharded
+    # engine is a pure function of the model, so the printed table must
+    # be byte-identical no matter how many worker threads run it.
+    echo "=== tier-1: sharded determinism smoke (--threads 1/2/4) ==="
+    local t
+    for t in 1 2 4; do
+        "$ROOT/build/bench/fig12_end_to_end" --quick --threads "$t" \
+            > "$ROOT/build/fig12_t${t}.txt"
+    done
+    diff "$ROOT/build/fig12_t1.txt" "$ROOT/build/fig12_t2.txt" || {
+        echo "FAIL: sharded fig12 output differs between 1 and 2 threads"
+        exit 1
+    }
+    diff "$ROOT/build/fig12_t1.txt" "$ROOT/build/fig12_t4.txt" || {
+        echo "FAIL: sharded fig12 output differs between 1 and 4 threads"
+        exit 1
+    }
+    echo "    identical tables at 1, 2, and 4 threads"
 }
 
 case "$MODE" in
   --plain-only) stage_plain ;;
   --asan-only)  stage_asan ;;
+  --tsan-only)  stage_tsan ;;
   --audit-only) stage_audit ;;
   --guard-only) stage_guard ;;
   all)
     stage_plain
     stage_audit
     stage_asan
+    stage_tsan
     stage_guard
     ;;
   *)
     echo "usage: scripts/ci.sh" \
-         "[--plain-only|--asan-only|--audit-only|--guard-only]" >&2
+         "[--plain-only|--asan-only|--tsan-only|--audit-only|--guard-only]" \
+         >&2
     exit 2
     ;;
 esac

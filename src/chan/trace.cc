@@ -12,7 +12,7 @@ std::vector<TraceEvent>
 BusTrace::events() const
 {
     std::vector<TraceEvent> out;
-    const obs::Interner &in = recorder_->interner();
+    const obs::Interner &in = obs::interner();
     forEachMine([&](const obs::TraceRecord &rec) {
         out.push_back({rec.t0, rec.t1,
                        static_cast<std::uint32_t>(rec.arg),
@@ -33,7 +33,7 @@ std::vector<TraceEvent>
 BusTrace::find(const std::string &needle) const
 {
     std::vector<TraceEvent> out;
-    const obs::Interner &in = recorder_->interner();
+    const obs::Interner &in = obs::interner();
     forEachMine([&](const obs::TraceRecord &rec) {
         const std::string &label = in.label(rec.label);
         if (label.find(needle) != std::string::npos) {
@@ -99,7 +99,7 @@ BusTrace::writeVcd(std::ostream &os,
         return s.empty() ? std::string("SEG") : s;
     };
 
-    const obs::Interner &in = recorder_->interner();
+    const obs::Interner &in = obs::interner();
     forEachMine([&](const obs::TraceRecord &rec) {
         os << '#' << rec.t0 << "\n1!\nb"
            << bits8(static_cast<std::uint32_t>(rec.arg)) << " \"\ns"
@@ -112,7 +112,7 @@ std::string
 BusTrace::renderTimeline() const
 {
     std::ostringstream os;
-    const obs::Interner &in = recorder_->interner();
+    const obs::Interner &in = obs::interner();
     forEachMine([&](const obs::TraceRecord &rec) {
         os << strfmt("  [%10.3f .. %10.3f us] ce=%02x  %s\n",
                      ticks::toUs(rec.t0), ticks::toUs(rec.t1),

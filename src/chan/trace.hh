@@ -43,9 +43,8 @@ class BusTrace
 
     /** @param channel_name names this trace's track in the obs ring. */
     explicit BusTrace(std::string_view channel_name)
-        : recorder_(&obs::trace()),
-          track_(obs::interner().intern(channel_name)),
-          sinceSeq_(recorder_->nextSeq())
+        : track_(obs::interner().intern(channel_name)),
+          sinceSeq_(obs::trace().nextSeq())
     {}
 
     /**
@@ -54,7 +53,7 @@ class BusTrace
      * whenever whole-simulator tracing (obs::trace()) is enabled.
      */
     void setEnabled(bool on) { enabled_ = on; }
-    bool enabled() const { return enabled_ || recorder_->enabled(); }
+    bool enabled() const { return enabled_ || rec().enabled(); }
 
     /**
      * Span id for a segment about to run, so bus callbacks can adopt
@@ -64,7 +63,7 @@ class BusTrace
     obs::SpanId
     reserveSpan()
     {
-        return enabled() ? recorder_->nextSpanId() : obs::kNoSpan;
+        return enabled() ? rec().nextSpanId() : obs::kNoSpan;
     }
 
     /**
@@ -80,17 +79,18 @@ class BusTrace
     {
         if (!enabled())
             return obs::kNoSpan;
-        obs::TraceRecord rec;
-        rec.kind = obs::RecKind::Complete;
-        rec.t0 = start;
-        rec.t1 = end;
-        rec.span = span != obs::kNoSpan ? span : recorder_->nextSpanId();
-        rec.parent = parent;
-        rec.arg = ce_mask;
-        rec.track = track_;
-        rec.label = recorder_->interner().intern(label);
-        recorder_->push(rec);
-        return rec.span;
+        obs::TraceRecorder &r = rec();
+        obs::TraceRecord record;
+        record.kind = obs::RecKind::Complete;
+        record.t0 = start;
+        record.t1 = end;
+        record.span = span != obs::kNoSpan ? span : r.nextSpanId();
+        record.parent = parent;
+        record.arg = ce_mask;
+        record.track = track_;
+        record.label = r.interner().intern(label);
+        r.push(record);
+        return record.span;
     }
 
     /** Compatibility shim for the pre-obs struct API. */
@@ -107,7 +107,7 @@ class BusTrace
 
     /** Forget this trace's past records (the ring itself is shared and
      *  keeps running; we just move our watermark). */
-    void clear() { sinceSeq_ = recorder_->nextSeq(); }
+    void clear() { sinceSeq_ = rec().nextSeq(); }
 
     /** Events whose label contains @p needle. */
     std::vector<TraceEvent> find(const std::string &needle) const;
@@ -134,21 +134,28 @@ class BusTrace
                   const std::string &channel_name = "channel") const;
 
   private:
+    /**
+     * The ambient execution context's recorder, resolved per call —
+     * never cached. On a sharded worker this is the shard's own ring
+     * (lock-free, merged deterministically at epoch barriers); caching
+     * the constructor-time recorder would make every channel push into
+     * the main ring concurrently.
+     */
+    obs::TraceRecorder &rec() const { return obs::trace(); }
+
     /** Visit this instance's Complete records, oldest first. */
     template <typename F>
     void
     forEachMine(F &&fn) const
     {
-        recorder_->forEach([&](std::uint64_t seq,
-                               const obs::TraceRecord &rec) {
-            if (seq >= sinceSeq_ && rec.track == track_ &&
-                rec.kind == obs::RecKind::Complete) {
-                fn(rec);
+        rec().forEach([&](std::uint64_t seq, const obs::TraceRecord &r) {
+            if (seq >= sinceSeq_ && r.track == track_ &&
+                r.kind == obs::RecKind::Complete) {
+                fn(r);
             }
         });
     }
 
-    obs::TraceRecorder *recorder_;
     std::uint32_t track_;
     std::uint64_t sinceSeq_; //!< ring records before this are not ours
     bool enabled_ = false;

@@ -79,6 +79,11 @@ class ChannelController : public SimObject, public FlashBackend
         return sys_.config().package.geometry;
     }
     dram::DramBuffer &backendDram() override { return sys_.dram(); }
+    fault::FaultEngine &backendFaults() override { return sys_.faults(); }
+
+    /** The device's fault engine (per-device when wired, else the
+     *  process default) — recovery reporting goes through this. */
+    fault::FaultEngine &faults() const { return sys_.faults(); }
 
     // --- Stats ---
     std::uint64_t opsCompleted() const { return opsCompleted_; }

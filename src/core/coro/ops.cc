@@ -65,7 +65,7 @@ pollReadyOp(OpEnv &env, std::uint32_t chip, std::uint8_t mask,
         Tick elapsed = env.rt.curTick() - start;
         if (elapsed > budget) {
             out.timedOut = true;
-            fault::engine().noteTimeout(strfmt("coro.%s c%u", what, chip),
+            env.sys.faults().noteTimeout(strfmt("coro.%s c%u", what, chip),
                                         env.rt.curTick());
             co_return out;
         }
@@ -338,7 +338,7 @@ readWithRetryOp(OpEnv &env, FlashRequest req, std::uint32_t max_retries)
     std::uint32_t level = 0;
     while (!res.ok && !res.timedOut && res.retries < max_retries) {
         ++level;
-        fault::engine().noteRetryStep(strfmt("coro c%u", req.chip), level,
+        env.sys.faults().noteRetryStep(strfmt("coro c%u", req.chip), level,
                                       env.rt.curTick());
         co_await setFeaturesOp(env, req.chip, feature::kVendorReadRetry,
                                {static_cast<std::uint8_t>(level), 0, 0, 0});

@@ -11,6 +11,7 @@
 #define BABOL_CORE_FLASH_BACKEND_HH
 
 #include "dram/dram.hh"
+#include "fault/fault_engine.hh"
 #include "nand/geometry.hh"
 #include "op_request.hh"
 
@@ -32,6 +33,15 @@ class FlashBackend
 
     /** The DRAM staging buffer host data moves through. */
     virtual dram::DramBuffer &backendDram() = 0;
+
+    /** The device's fault engine — the FTL reports remaps through the
+     *  same per-device engine the NAND hooks consult. Defaults to the
+     *  process-wide engine for back-ends that predate per-device
+     *  injection. */
+    virtual fault::FaultEngine &backendFaults()
+    {
+        return fault::FaultEngine::instance();
+    }
 };
 
 } // namespace babol::core

@@ -167,7 +167,7 @@ HwReadFsm::step()
                 // Retry-capable RTL: step the vendor retry level and
                 // re-run the whole read waveform.
                 ++retries_;
-                fault::engine().noteRetryStep(
+                ctrl_.faults().noteRetryStep(
                     strfmt("hw c%u", req_.chip), retries_,
                     ctrl_.curTick());
                 state_ = State::IssueRetryFeatures;

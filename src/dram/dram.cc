@@ -27,7 +27,7 @@ DramBuffer::write(std::uint64_t addr, std::span<const std::uint8_t> data)
 {
     checkRange(addr, data.size());
     std::copy(data.begin(), data.end(), mem_.begin() + addr);
-    bytesWritten_ += data.size();
+    bytesWritten_.fetch_add(data.size(), std::memory_order_relaxed);
 }
 
 void
@@ -36,7 +36,7 @@ DramBuffer::read(std::uint64_t addr, std::span<std::uint8_t> out) const
     checkRange(addr, out.size());
     std::copy(mem_.begin() + addr, mem_.begin() + addr + out.size(),
               out.begin());
-    bytesRead_ += out.size();
+    bytesRead_.fetch_add(out.size(), std::memory_order_relaxed);
 }
 
 Tick

@@ -13,6 +13,7 @@
 #ifndef BABOL_DRAM_DRAM_HH
 #define BABOL_DRAM_DRAM_HH
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -44,8 +45,14 @@ class DramBuffer : public SimObject
     /** Time a DMA of @p bytes occupies the DRAM port. */
     Tick transferTime(std::uint64_t bytes) const;
 
-    std::uint64_t bytesWritten() const { return bytesWritten_; }
-    std::uint64_t bytesRead() const { return bytesRead_; }
+    std::uint64_t bytesWritten() const
+    {
+        return bytesWritten_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t bytesRead() const
+    {
+        return bytesRead_.load(std::memory_order_relaxed);
+    }
 
   private:
     void checkRange(std::uint64_t addr, std::uint64_t len) const;
@@ -53,8 +60,12 @@ class DramBuffer : public SimObject
     std::vector<std::uint8_t> mem_;
     double bandwidthMBps_;
     Tick setupLatency_;
-    mutable std::uint64_t bytesWritten_ = 0;
-    mutable std::uint64_t bytesRead_ = 0;
+
+    /** The staging DRAM is shared by every channel shard of a sharded
+     *  device, so the accounting is relaxed-atomic. The byte array
+     *  itself needs no locking: disjoint staging regions per op. */
+    mutable std::atomic<std::uint64_t> bytesWritten_{0};
+    mutable std::atomic<std::uint64_t> bytesRead_{0};
 };
 
 } // namespace babol::dram

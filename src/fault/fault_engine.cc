@@ -40,6 +40,7 @@ FaultEngine::FaultEngine()
 void
 FaultEngine::arm(FaultPlan plan)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     plan_ = std::move(plan);
     state_.assign(plan_.faults.size(), SpecState{});
     rng_ = Rng(plan_.seed);
@@ -57,6 +58,7 @@ FaultEngine::arm(FaultPlan plan)
 void
 FaultEngine::disarm()
 {
+    std::lock_guard<std::mutex> lk(mu_);
     armed_ = false;
     plan_ = FaultPlan{};
     state_.clear();
@@ -123,8 +125,9 @@ FaultEngine::onRead(std::string_view lun, std::uint32_t block,
                     std::uint32_t page, std::uint32_t retry_level,
                     Tick now)
 {
-    if (!armed_)
+    if (!armed())
         return 0;
+    std::lock_guard<std::mutex> lk(mu_);
     std::uint32_t flips = 0;
     for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
         const FaultSpec &spec = plan_.faults[i];
@@ -174,8 +177,9 @@ bool
 FaultEngine::onProgram(std::string_view lun, std::uint32_t block,
                        std::uint32_t page, Tick now)
 {
-    if (!armed_)
+    if (!armed())
         return false;
+    std::lock_guard<std::mutex> lk(mu_);
     for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
         const FaultSpec &spec = plan_.faults[i];
         if (spec.kind != FaultKind::ProgFail ||
@@ -194,8 +198,9 @@ FaultEngine::onProgram(std::string_view lun, std::uint32_t block,
 bool
 FaultEngine::onErase(std::string_view lun, std::uint32_t block, Tick now)
 {
-    if (!armed_)
+    if (!armed())
         return false;
+    std::lock_guard<std::mutex> lk(mu_);
     for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
         const FaultSpec &spec = plan_.faults[i];
         if (spec.kind != FaultKind::EraseFail ||
@@ -214,8 +219,9 @@ Tick
 FaultEngine::onArrayOp(std::string_view lun, OpClass op, Tick duration,
                        Tick now)
 {
-    if (!armed_ || op == OpClass::Other)
+    if (!armed() || op == OpClass::Other)
         return 0;
+    std::lock_guard<std::mutex> lk(mu_);
     Tick extra = 0;
     for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
         const FaultSpec &spec = plan_.faults[i];
@@ -241,8 +247,9 @@ FaultEngine::onArrayOp(std::string_view lun, OpClass op, Tick duration,
 bool
 FaultEngine::suppresses(std::string_view lun, Tick now) const
 {
-    if (!armed_)
+    if (!armed())
         return false;
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = suppressUntil_.find(std::string(lun));
     if (it == suppressUntil_.end() || now > it->second)
         return false;
@@ -254,8 +261,9 @@ void
 FaultEngine::noteRetryStep(std::string_view who, std::uint32_t level,
                            Tick now)
 {
-    if (!armed_)
+    if (!armed())
         return;
+    std::lock_guard<std::mutex> lk(mu_);
     ++retrySteps_;
     append(now, strfmt("retry %.*s level=%u",
                        static_cast<int>(who.size()), who.data(), level));
@@ -267,8 +275,9 @@ void
 FaultEngine::noteRemap(std::string_view who, std::uint32_t chip,
                        std::uint32_t block, Tick now)
 {
-    if (!armed_)
+    if (!armed())
         return;
+    std::lock_guard<std::mutex> lk(mu_);
     ++remaps_;
     append(now, strfmt("remap %.*s chip=%u block=%u",
                        static_cast<int>(who.size()), who.data(), chip,
@@ -280,8 +289,9 @@ FaultEngine::noteRemap(std::string_view who, std::uint32_t chip,
 void
 FaultEngine::noteTimeout(std::string_view who, Tick now)
 {
-    if (!armed_)
+    if (!armed())
         return;
+    std::lock_guard<std::mutex> lk(mu_);
     ++timeouts_;
     append(now, strfmt("timeout %.*s", static_cast<int>(who.size()),
                        who.data()));

@@ -2,13 +2,27 @@
  * @file
  * The deterministic fault-injection engine.
  *
- * A process-wide singleton (like the obs Hub and the conformance
- * Auditor): the NAND layer calls cheap hooks at the points where real
- * flash misbehaves — page loads, program/erase verifies, array-op
- * scheduling — and the engine consults an armed FaultPlan to decide
- * whether this occurrence is struck. Everything is seed-driven: the
- * same plan and seed produce the same injections and, because every
- * recovery path is itself deterministic, the same recovery trace.
+ * One engine per simulated device: the NAND layer calls cheap hooks at
+ * the points where real flash misbehaves — page loads, program/erase
+ * verifies, array-op scheduling — and the engine consults an armed
+ * FaultPlan to decide whether this occurrence is struck. Everything is
+ * seed-driven: the same plan and seed produce the same injections and,
+ * because every recovery path is itself deterministic, the same
+ * recovery trace.
+ *
+ * The engine used to be a process singleton; it is now a regular
+ * object wired to a device through PackageConfig::faults (resolved via
+ * engineOf()), which fixes cross-run bleed between back-to-back
+ * in-process simulations and lets fleet members inject independently.
+ * instance() survives as the process default for components with no
+ * engine attached, so existing harnesses and tests keep working.
+ *
+ * Thread-safety: a device's engine is shared by all of its channel
+ * shards, so the armed flag is atomic and every armed hook takes a
+ * mutex (disarmed hooks stay a single relaxed load). NOTE: an *armed*
+ * campaign run multi-threaded is TSan-clean but the strike/RNG
+ * ordering follows wall-clock shard interleaving — deterministic fault
+ * campaigns should run with one thread (CI does).
  *
  * The engine also owns the cross-cutting recovery metrics the issue
  * calls out — `fault.injected`, `retry.steps`, `remap.count` — so the
@@ -23,7 +37,9 @@
 #ifndef BABOL_FAULT_FAULT_ENGINE_HH
 #define BABOL_FAULT_FAULT_ENGINE_HH
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -42,10 +58,19 @@ enum class OpClass : std::uint8_t { Read, Program, Erase, Other };
 class FaultEngine
 {
   public:
+    /** A detached per-device engine. Registers the fault/retry/remap
+     *  metrics groups in the *current* obs context's registry. */
+    FaultEngine();
+    ~FaultEngine() = default;
+
+    FaultEngine(const FaultEngine &) = delete;
+    FaultEngine &operator=(const FaultEngine &) = delete;
+
+    /** Process-default engine for components with no engine wired. */
     static FaultEngine &instance();
 
     /** Hot-path check: are hooks live? */
-    bool armed() const { return armed_; }
+    bool armed() const { return armed_.load(std::memory_order_relaxed); }
 
     /** Install @p plan, reset all runtime state, seed the RNG. */
     void arm(FaultPlan plan);
@@ -56,6 +81,10 @@ class FaultEngine
     /** Plan-seeded RNG: injected flip positions draw from here so the
      *  whole campaign is a pure function of (plan, seed). */
     Rng &rng() { return rng_; }
+
+    /** Serialize multi-field reads (log/summary) against armed hooks
+     *  when sampling a live multi-threaded run. */
+    std::mutex &mutex() const { return mu_; }
 
     // --- NAND-layer hooks (no-ops returning "no fault" when disarmed) --
 
@@ -121,8 +150,6 @@ class FaultEngine
     std::string summary() const;
 
   private:
-    FaultEngine();
-
     struct SpecState
     {
         std::uint32_t seen = 0;   //!< matching occurrences so far
@@ -140,7 +167,8 @@ class FaultEngine
                          Tick now, const std::string &detail);
     void append(Tick now, const std::string &line);
 
-    bool armed_ = false;
+    std::atomic<bool> armed_{false};
+    mutable std::mutex mu_; //!< guards all mutable state below
     FaultPlan plan_;
     std::vector<SpecState> state_;
     Rng rng_;
@@ -167,6 +195,13 @@ class FaultEngine
 };
 
 inline FaultEngine &engine() { return FaultEngine::instance(); }
+
+/** The engine wired for a component (nullptr = the process default). */
+inline FaultEngine &
+engineOf(FaultEngine *e)
+{
+    return e ? *e : FaultEngine::instance();
+}
 
 } // namespace babol::fault
 

@@ -219,7 +219,7 @@ PageFtl::retireBlock(std::uint32_t chip, std::uint32_t block)
     bi.bad = true;
     bi.erased = false;
     ++retired_;
-    fault::engine().noteRemap(name(), chip, block, curTick());
+    backend_.backendFaults().noteRemap(name(), chip, block, curTick());
     if (cs.activeBlock == static_cast<std::int32_t>(block))
         cs.activeBlock = -1;
     auto it = std::find(cs.freeBlocks.begin(), cs.freeBlocks.end(), block);

@@ -9,6 +9,12 @@
 
 namespace babol::nand {
 
+fault::FaultEngine &
+Lun::faults() const
+{
+    return fault::engineOf(cfg_.faults);
+}
+
 const char *
 toString(ArrayOp op)
 {
@@ -111,7 +117,7 @@ Lun::violation(const char *rule, std::string msg) const
     // on a LUN held busy past its datasheet time by a stuck-busy
     // injection) is expected fallout, not a conformance bug: tag it so
     // it never double-reports as a failure.
-    bool suppressed = fault::engine().suppresses(name(), curTick());
+    bool suppressed = faults().suppresses(name(), curTick());
     auto &aud = obs::audit::auditor();
     if (aud.armed()) {
         aud.report(obs::audit::Check::LunProtocol, rule, name(), curTick(),
@@ -767,7 +773,7 @@ Lun::startArrayOp(ArrayOp op, Tick duration, std::function<void()> done)
         // working and its busy bookkeeping must not be clobbered.
         return;
     }
-    if (auto &eng = fault::engine(); eng.armed()) {
+    if (auto &eng = faults(); eng.armed()) {
         // Stuck-busy injection: the array overruns its datasheet time.
         // Applied after the floor audits so only upper-bound watchers
         // (the controllers' op timeouts) see the overrun.
@@ -835,7 +841,7 @@ void
 Lun::injectReadFaults(PageLoad &load, std::uint32_t block,
                       std::uint32_t page)
 {
-    auto &eng = fault::engine();
+    auto &eng = faults();
     if (!eng.armed() || !load.programmed)
         return;
     std::uint32_t extra =
@@ -1010,7 +1016,7 @@ Lun::startProgram(bool cache_mode)
             }
             for (const RowAddress &row : rows) {
                 Plane &pl = planes_[row.plane(cfg_.geometry)];
-                if (fault::engine().onProgram(name(), row.block, row.page,
+                if (faults().onProgram(name(), row.block, row.page,
                                               curTick())) {
                     // Injected verify failure: the page never commits,
                     // exactly as a real failed program leaves the array.
@@ -1053,7 +1059,7 @@ Lun::startProgram(bool cache_mode)
         ardy_ = false;
         bgUntil_ = curTick() + prog_time;
         bgCompletion_ = [this, row, data = std::move(data)] {
-            if (fault::engine().onProgram(name(), row.block, row.page,
+            if (faults().onProgram(name(), row.block, row.page,
                                           curTick())) {
                 failCBit_ = true;
             } else {
@@ -1100,7 +1106,7 @@ Lun::startErase()
 
     startArrayOp(ArrayOp::Erase, dur, [this, blocks, slc_mode] {
         for (std::uint32_t block : blocks) {
-            if (fault::engine().onErase(name(), block, curTick())) {
+            if (faults().onErase(name(), block, curTick())) {
                 // Injected erase-verify failure: the block keeps its
                 // old contents and the FAIL bit tells the controller.
                 failBit_ = true;

@@ -19,6 +19,10 @@
 #include "onfi.hh"
 #include "sim/types.hh"
 
+namespace babol::fault {
+class FaultEngine;
+} // namespace babol::fault
+
 namespace babol::nand {
 
 /**
@@ -99,6 +103,15 @@ struct PackageConfig
     /** Two JEDEC id bytes returned by READ ID @ 0x00. */
     std::uint8_t jedecManufacturer = 0x00;
     std::uint8_t jedecDevice = 0x00;
+
+    /**
+     * The fault engine this package's LUNs consult, threaded here so
+     * every layer from ChannelSystem down resolves the same per-device
+     * engine without new constructor plumbing. nullptr = the process
+     * default (fault::FaultEngine::instance()), preserving the classic
+     * singleton behaviour.
+     */
+    fault::FaultEngine *faults = nullptr;
 };
 
 /** SK hynix preset: tR = 100 us (Table I), 8 LUNs per channel. */

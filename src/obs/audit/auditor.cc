@@ -46,6 +46,46 @@ Auditor::instance()
     return auditor;
 }
 
+namespace {
+thread_local Auditor *tlsAuditor = nullptr;
+} // namespace
+
+Auditor &
+Auditor::current()
+{
+    return tlsAuditor ? *tlsAuditor : instance();
+}
+
+Auditor *
+Auditor::exchangeCurrent(Auditor *a)
+{
+    Auditor *prev = tlsAuditor;
+    tlsAuditor = a;
+    return prev;
+}
+
+std::unique_ptr<Auditor>
+Auditor::makeShard(const Auditor &src)
+{
+    auto shard = std::unique_ptr<Auditor>(new Auditor(Detached{}));
+    if (src.armed_) {
+        shard->cfg_ = src.cfg_;
+        shard->installBuiltins();
+        shard->armed_ = true;
+    }
+    return shard;
+}
+
+void
+Auditor::absorb(Auditor &shard)
+{
+    segments_ += shard.segments_;
+    for (auto &d : shard.diags_)
+        diags_.push_back(std::move(d));
+    shard.diags_.clear();
+    shard.segments_ = 0;
+}
+
 Auditor::Auditor()
 {
     // BABOL_AUDIT=1 arms the default sanitizer mode: panic on the first

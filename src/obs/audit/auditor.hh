@@ -23,6 +23,16 @@
  * no link dependency on the nand/chan libraries: it consumes only
  * header-only PODs (TimingParams, CycleType) so babol_obs stays at the
  * bottom of the library stack.
+ *
+ * Sharded runs: the stateful rules (per-CE AC timing history) and the
+ * flight dumps are only coherent within one channel, so the sharded
+ * engine gives every shard a detached Auditor (makeShard) mirroring
+ * the process instance's armed config, installs it on the worker
+ * thread via current()/exchangeCurrent while the shard runs, and folds
+ * segment counts and diagnostics back with absorb() at the end. A
+ * channel lives wholly on one shard, so each rule still sees its
+ * complete, ordered segment stream. The span-conservation pass
+ * (finish) runs once, on the merged trace.
  */
 
 #ifndef BABOL_OBS_AUDIT_AUDITOR_HH
@@ -108,6 +118,25 @@ class Auditor
     /** Process-wide instance; arms itself when BABOL_AUDIT is set. */
     static Auditor &instance();
 
+    /** The auditor installed on this thread (the process instance by
+     *  default) — what the inline taps resolve. */
+    static Auditor &current();
+
+    /** Install @p a as this thread's auditor; @return the previous
+     *  binding (nullptr = the process instance). */
+    static Auditor *exchangeCurrent(Auditor *a);
+
+    /**
+     * A detached auditor mirroring @p src's armed state and config
+     * (built-in rules only — extra rules added to @p src are not
+     * cloned). Never arms tracing by itself.
+     */
+    static std::unique_ptr<Auditor> makeShard(const Auditor &src);
+
+    /** Fold a shard auditor's segment count and diagnostics into this
+     *  one (deterministic when absorbed in shard order). */
+    void absorb(Auditor &shard);
+
     /** True when taps should report (the hot-path check). */
     bool armed() const { return armed_; }
 
@@ -169,7 +198,11 @@ class Auditor
     void writeReport(std::ostream &os) const;
 
   private:
+    struct Detached
+    {};
+
     Auditor();
+    explicit Auditor(Detached) {}
 
     void installBuiltins();
 
@@ -180,7 +213,23 @@ class Auditor
     std::uint64_t segments_ = 0;
 };
 
-inline Auditor &auditor() { return Auditor::instance(); }
+inline Auditor &auditor() { return Auditor::current(); }
+
+/** RAII: routes this thread's audit taps through @p a (nullptr = back
+ *  to the process instance). */
+class ScopedAuditor
+{
+  public:
+    explicit ScopedAuditor(Auditor *a) : prev_(Auditor::exchangeCurrent(a))
+    {}
+    ~ScopedAuditor() { Auditor::exchangeCurrent(prev_); }
+
+    ScopedAuditor(const ScopedAuditor &) = delete;
+    ScopedAuditor &operator=(const ScopedAuditor &) = delete;
+
+  private:
+    Auditor *prev_;
+};
 
 } // namespace babol::obs::audit
 

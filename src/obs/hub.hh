@@ -1,16 +1,29 @@
 /**
  * @file
- * The observability hub: one process-wide home for the label interner,
- * the trace recorder, the metrics registry, and the ambient span
- * context.
+ * The observability hub: one process-wide home for the label interner
+ * and the metrics registry, plus the *execution context* — the trace
+ * recorder and ambient span slot the recording helpers route through.
  *
- * The simulator is single-threaded by construction (one EventQueue,
- * sequential callbacks), so a singleton with a plain "current context"
- * slot is both safe and the least invasive way to thread span identity
- * through call chains that were never built to carry it: a producer
- * that opens a span installs it as the ambient context (ScopedCtx) for
- * the synchronous work it triggers, and async continuations carry the
- * span id explicitly in their request/transaction/segment structs.
+ * Classic runs are single-threaded (one EventQueue, sequential
+ * callbacks), and everything lives in the hub's main ExecContext — the
+ * behaviour of previous releases. The sharded engine gives every shard
+ * (and fleet mode every member) its own ExecContext and installs it on
+ * the worker thread via a thread-local while that shard runs, so trace
+ * records and span ids are produced into per-shard buffers with no
+ * synchronization on the hot path; the engine merges them
+ * deterministically at epoch boundaries (mergeShardTraces).
+ *
+ * Shared pieces and their thread-safety:
+ *  - Interner: global (ids must agree across shards so merged records
+ *    decode uniformly); mutex-guarded — interning is a cold,
+ *    construction-time path.
+ *  - MetricsRegistry: the process registry is mutex-guarded for
+ *    registration/snapshot; fleet members use private registries via
+ *    their ExecContext. Counters themselves stay plain — each belongs
+ *    to exactly one shard's components.
+ *  - Span ids: each ExecContext mints ids in its own namespace
+ *    (shard id in the top bits), so ids are unique across shards and
+ *    identical at any thread count. Shard 0 / main keeps today's ids.
  *
  * Tests call reset() between runs so recorded state never leaks across
  * fixtures.
@@ -18,6 +31,8 @@
 
 #ifndef BABOL_OBS_HUB_HH
 #define BABOL_OBS_HUB_HH
+
+#include <memory>
 
 #include "interner.hh"
 #include "metrics.hh"
@@ -30,66 +45,146 @@ class EventQueue;
 
 namespace babol::obs {
 
+/** Shard index is packed into the top bits of every minted SpanId. */
+constexpr unsigned kSpanShardShift = 48;
+
+/**
+ * Everything the recording helpers resolve per execution stream: a
+ * trace ring, a metrics registry (shared or private), and the ambient
+ * span. One per shard / fleet member; the hub owns the main one.
+ */
+struct ExecContext
+{
+    /** Context recording into @p registry (shared-registry shards). */
+    ExecContext(Interner &interner, MetricsRegistry *registry,
+                std::uint32_t shard = 0,
+                std::size_t traceCapacity = TraceRecorder::kDefaultCapacity)
+        : trace(interner, traceCapacity), metrics(registry), shard(shard)
+    {
+        trace.seedSpanIds(SpanId(shard) << kSpanShardShift);
+    }
+
+    /** Context with a private registry (isolated fleet members). */
+    ExecContext(Interner &interner, std::uint32_t shard,
+                std::size_t traceCapacity = TraceRecorder::kDefaultCapacity)
+        : trace(interner, traceCapacity),
+          owned(std::make_unique<MetricsRegistry>()), metrics(owned.get()),
+          shard(shard)
+    {
+        trace.seedSpanIds(SpanId(shard) << kSpanShardShift);
+    }
+
+    ExecContext(const ExecContext &) = delete;
+    ExecContext &operator=(const ExecContext &) = delete;
+
+    TraceRecorder trace;
+    std::unique_ptr<MetricsRegistry> owned;
+    MetricsRegistry *metrics;
+    SpanId current = kNoSpan;
+    std::uint32_t shard = 0;
+};
+
 class Hub
 {
   public:
     static Hub &instance();
 
     Interner &interner() { return interner_; }
-    TraceRecorder &trace() { return trace_; }
+
+    /** The main-thread/classic context (also the merge destination). */
+    ExecContext &main() { return main_; }
+
+    /** The context installed on this thread (the main one by default). */
+    static ExecContext &current();
+
+    /** Install @p ctx on this thread; @return the previous binding
+     *  (nullptr = main). Prefer ScopedExecContext. */
+    static ExecContext *exchangeCurrent(ExecContext *ctx);
+
+    /** Back-compat accessors: the main context's recorder and the
+     *  process registry. Routing-sensitive code should go through the
+     *  free helpers trace()/metrics() instead. */
+    TraceRecorder &trace() { return main_.trace; }
     MetricsRegistry &metrics() { return metrics_; }
 
     /** Ambient span for synchronously-triggered work (kNoSpan if none). */
-    SpanId currentCtx() const { return current_; }
+    SpanId currentCtx() const { return current().current; }
 
     /**
-     * Drop recorded trace state and the ambient context. Metric
-     * registrations and interned labels survive (they belong to live
-     * objects); the recording switch is turned off.
+     * Drop recorded trace state and the ambient context of the current
+     * execution context. Metric registrations and interned labels
+     * survive (they belong to live objects); the recording switch is
+     * turned off.
      */
     void
     reset()
     {
-        trace_.setEnabled(false);
-        trace_.clear();
-        current_ = kNoSpan;
+        ExecContext &ctx = current();
+        ctx.trace.setEnabled(false);
+        ctx.trace.clear();
+        ctx.current = kNoSpan;
     }
 
-    /** RAII: installs @p ctx as the ambient span for the current scope. */
+    /** RAII: installs @p ctx as the ambient span for the current scope
+     *  (within the current execution context). */
     class ScopedCtx
     {
       public:
         explicit ScopedCtx(SpanId ctx)
-            : hub_(Hub::instance()), prev_(hub_.current_)
+            : ctx_(Hub::current()), prev_(ctx_.current)
         {
-            hub_.current_ = ctx;
+            ctx_.current = ctx;
         }
-        ~ScopedCtx() { hub_.current_ = prev_; }
+        ~ScopedCtx() { ctx_.current = prev_; }
 
         ScopedCtx(const ScopedCtx &) = delete;
         ScopedCtx &operator=(const ScopedCtx &) = delete;
 
       private:
-        Hub &hub_;
+        ExecContext &ctx_;
         SpanId prev_;
     };
 
   private:
-    Hub() : trace_(interner_) {}
-
-    friend class ScopedCtx;
+    Hub() : main_(interner_, &metrics_, 0) {}
 
     Interner interner_;
-    TraceRecorder trace_;
     MetricsRegistry metrics_;
-    SpanId current_ = kNoSpan;
+    ExecContext main_;
+};
+
+/** RAII: routes this thread's obs helpers through @p ctx (nullptr =
+ *  back to the hub's main context). */
+class ScopedExecContext
+{
+  public:
+    explicit ScopedExecContext(ExecContext *ctx)
+        : prev_(Hub::exchangeCurrent(ctx))
+    {}
+    ~ScopedExecContext() { Hub::exchangeCurrent(prev_); }
+
+    ScopedExecContext(const ScopedExecContext &) = delete;
+    ScopedExecContext &operator=(const ScopedExecContext &) = delete;
+
+  private:
+    ExecContext *prev_;
 };
 
 inline Hub &hub() { return Hub::instance(); }
 inline Interner &interner() { return hub().interner(); }
-inline TraceRecorder &trace() { return hub().trace(); }
-inline MetricsRegistry &metrics() { return hub().metrics(); }
-inline SpanId currentCtx() { return hub().currentCtx(); }
+inline ExecContext &currentExec() { return Hub::current(); }
+inline TraceRecorder &trace() { return Hub::current().trace; }
+inline MetricsRegistry &metrics() { return *Hub::current().metrics; }
+inline SpanId currentCtx() { return Hub::current().current; }
+
+/**
+ * Deterministically merge the held records of @p count shard contexts
+ * into @p dst, ordered by (t0, shard, per-shard push order) — a total
+ * order that depends only on the shard topology, never on the thread
+ * count. Sources are cleared (their sequence numbers stay monotone).
+ */
+void mergeShardTraces(TraceRecorder &dst, ExecContext *const *shards,
+                      std::size_t count);
 
 /**
  * Register the event kernel's pool/scheduler gauges under

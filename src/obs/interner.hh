@@ -6,6 +6,13 @@
  * path does no heap allocation after a label's first appearance. The
  * lookup is heterogeneous (C++20 transparent hashing) so repeat interns
  * by string_view build no temporary std::string either.
+ *
+ * The interner is the one obs structure deliberately shared across
+ * shards and fleet members (ids must agree so merged trace records
+ * decode uniformly), so it is mutex-guarded. Interning happens at
+ * component construction, never on the per-event hot path, so the lock
+ * is cold; label() returns a reference to node-stable storage that
+ * outlives the lock.
  */
 
 #ifndef BABOL_OBS_INTERNER_HH
@@ -13,6 +20,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -28,6 +36,7 @@ class Interner
     std::uint32_t
     intern(std::string_view s)
     {
+        std::lock_guard<std::mutex> lk(mu_);
         auto it = ids_.find(s);
         if (it != ids_.end())
             return it->second;
@@ -41,6 +50,7 @@ class Interner
     std::uint32_t
     find(std::string_view s) const
     {
+        std::lock_guard<std::mutex> lk(mu_);
         auto it = ids_.find(s);
         return it == ids_.end() ? kInvalid : it->second;
     }
@@ -49,10 +59,16 @@ class Interner
     label(std::uint32_t id) const
     {
         static const std::string unknown = "<?>";
+        std::lock_guard<std::mutex> lk(mu_);
         return id < labels_.size() ? *labels_[id] : unknown;
     }
 
-    std::size_t size() const { return labels_.size(); }
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return labels_.size();
+    }
 
   private:
     struct Hash
@@ -74,6 +90,7 @@ class Interner
         }
     };
 
+    mutable std::mutex mu_;
     std::unordered_map<std::string, std::uint32_t, Hash, Eq> ids_;
 
     /** id -> key in ids_ (node-stable, so the pointers never move). */

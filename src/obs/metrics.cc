@@ -85,6 +85,7 @@ MetricsSnapshot::scalar(std::string_view name, std::uint64_t fallback) const
 MetricsRegistry::Token
 MetricsRegistry::insert(std::string name, Entry entry)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     entry.serial = nextSerial_++;
     Token tok{name, entry.serial};
     entries_.insert_or_assign(std::move(name), std::move(entry));
@@ -121,6 +122,7 @@ MetricsRegistry::addDistribution(std::string name, const Distribution *dist)
 void
 MetricsRegistry::remove(const Token &token)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = entries_.find(token.name);
     if (it != entries_.end() && it->second.serial == token.serial)
         entries_.erase(it);
@@ -129,6 +131,7 @@ MetricsRegistry::remove(const Token &token)
 MetricsSnapshot
 MetricsRegistry::snapshot() const
 {
+    std::lock_guard<std::mutex> lk(mu_);
     MetricsSnapshot snap;
     for (const auto &[name, entry] : entries_) {
         switch (entry.kind) {

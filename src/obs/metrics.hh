@@ -20,6 +20,7 @@
 #include <functional>
 #include <iosfwd>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -75,7 +76,12 @@ class MetricsRegistry
     /** Remove iff @p token still owns the name (stale tokens no-op). */
     void remove(const Token &token);
 
-    std::size_t size() const { return entries_.size(); }
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return entries_.size();
+    }
 
     MetricsSnapshot snapshot() const;
 
@@ -104,6 +110,15 @@ class MetricsRegistry
 
     Token insert(std::string name, Entry entry);
 
+    /**
+     * Guards the registration map, NOT the referenced stats: fleet
+     * members register concurrently into private registries, and shard
+     * components (all built on the main thread) may be snapshotted
+     * while deregistering in tests. Counters/Distributions stay
+     * unsynchronized — each belongs to exactly one shard and is only
+     * read at quiesced points.
+     */
+    mutable std::mutex mu_;
     std::map<std::string, Entry, std::less<>> entries_;
     std::uint64_t nextSerial_ = 1;
 };

@@ -81,6 +81,13 @@ class TraceRecorder
     /** Fresh span id (never 0). Cheap; valid even while disabled. */
     SpanId nextSpanId() { return ++lastSpan_; }
 
+    /**
+     * Start minting span ids from @p base + 1 — each shard context
+     * seeds its recorder with the shard index in the top bits so ids
+     * are process-unique and reproducible at any thread count.
+     */
+    void seedSpanIds(SpanId base) { lastSpan_ = base; }
+
     // --- Recording (no-ops returning kNoSpan while disabled) ---
 
     SpanId

@@ -149,6 +149,13 @@ EventQueue::peekLive()
     }
 }
 
+Tick
+EventQueue::nextEventTime()
+{
+    const Entry *top = peekLive();
+    return top ? top->when : kMaxTick;
+}
+
 bool
 EventQueue::step()
 {

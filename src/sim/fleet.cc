@@ -1,0 +1,54 @@
+#include "fleet.hh"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "logging.hh"
+
+namespace babol::sim {
+
+void
+FleetEngine::run(std::size_t count, std::uint32_t threads,
+                 const std::function<void(std::size_t)> &job)
+{
+    if (count == 0)
+        return;
+    threads = std::max<std::uint32_t>(
+        1, std::min<std::uint64_t>(threads, count));
+
+    std::vector<std::exception_ptr> errors(count);
+
+    auto body = [&](std::uint32_t tid) {
+        for (std::size_t m = tid; m < count; m += threads) {
+            try {
+                job(m);
+            } catch (...) {
+                errors[m] = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> workers;
+    workers.reserve(threads - 1);
+    for (std::uint32_t t = 1; t < threads; ++t)
+        workers.emplace_back(body, t);
+    body(0);
+    for (auto &w : workers)
+        w.join();
+
+    for (auto &e : errors)
+        if (e)
+            std::rethrow_exception(e);
+}
+
+std::uint64_t
+FleetEngine::memberSeed(std::uint64_t base, std::size_t member)
+{
+    std::uint64_t z = base + 0x9E3779B97F4A7C15ull * (member + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+} // namespace babol::sim

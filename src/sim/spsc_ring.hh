@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Single-producer / single-consumer bounded ring for cross-shard event
+ * exchange in the sharded engine.
+ *
+ * Each (sender shard, receiver shard) pair owns one ring, so every ring
+ * has exactly one producer thread and one consumer thread by
+ * construction. push/pop use acquire/release on the head/tail indices —
+ * no locks on the fast path. The window-barrier protocol additionally
+ * separates the push phase from the pop phase, so a full ring can fall
+ * back to a mutex-guarded overflow vector (ShardLink) without ever
+ * reordering messages: once a sender overflows inside a window, all its
+ * later messages overflow too, and the consumer drains ring-then-
+ * overflow, preserving per-link FIFO order.
+ */
+
+#ifndef BABOL_SIM_SPSC_RING_HH
+#define BABOL_SIM_SPSC_RING_HH
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "logging.hh"
+
+namespace babol::sim {
+
+template <typename T>
+class SpscRing
+{
+  public:
+    explicit SpscRing(std::size_t capacity = 1024)
+        : buf_(capacity), mask_(capacity - 1)
+    {
+        babol_assert(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+                     "SpscRing capacity must be a power of two, got %zu",
+                     capacity);
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    std::size_t capacity() const { return buf_.size(); }
+
+    /** Producer side. @return false when the ring is full. */
+    bool
+    push(T &&v)
+    {
+        const std::size_t h = head_.load(std::memory_order_relaxed);
+        const std::size_t t = tail_.load(std::memory_order_acquire);
+        if (h - t == buf_.size())
+            return false;
+        buf_[h & mask_] = std::move(v);
+        head_.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side. @return false when the ring is empty. */
+    bool
+    pop(T &out)
+    {
+        const std::size_t t = tail_.load(std::memory_order_relaxed);
+        const std::size_t h = head_.load(std::memory_order_acquire);
+        if (t == h)
+            return false;
+        out = std::move(buf_[t & mask_]);
+        buf_[t & mask_] = T{}; // release captured resources eagerly
+        tail_.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Approximate size as seen by the consumer. */
+    std::size_t
+    size() const
+    {
+        return head_.load(std::memory_order_acquire) -
+               tail_.load(std::memory_order_acquire);
+    }
+
+    bool empty() const { return size() == 0; }
+
+  private:
+    std::vector<T> buf_;
+    std::size_t mask_;
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+/**
+ * One directed cross-shard message link: an SpscRing fronting a
+ * mutex-guarded overflow vector so a burst larger than the ring can
+ * never deadlock the window barrier. FIFO order per link is preserved
+ * (see file comment).
+ */
+template <typename T>
+class ShardLink
+{
+  public:
+    explicit ShardLink(std::size_t ringCapacity = 1024)
+        : ring_(ringCapacity)
+    {}
+
+    /** Producer side (sender shard's thread). */
+    void
+    post(T &&v)
+    {
+        if (overflowed_.load(std::memory_order_relaxed) == 0 &&
+            ring_.push(std::move(v)))
+            return;
+        std::lock_guard<std::mutex> lk(mu_);
+        overflow_.push_back(std::move(v));
+        overflowed_.store(overflow_.size(), std::memory_order_relaxed);
+        if (overflow_.size() > overflowHighWater_)
+            overflowHighWater_ = overflow_.size();
+    }
+
+    /** Consumer side: deliver every queued message in FIFO order. */
+    template <typename F>
+    void
+    drain(F &&deliver)
+    {
+        T v;
+        while (ring_.pop(v))
+            deliver(std::move(v));
+        if (overflowed_.load(std::memory_order_relaxed) != 0) {
+            std::lock_guard<std::mutex> lk(mu_);
+            for (auto &o : overflow_)
+                deliver(std::move(o));
+            overflow_.clear();
+            overflowed_.store(0, std::memory_order_relaxed);
+        }
+    }
+
+    std::uint64_t
+    overflowHighWater() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return overflowHighWater_;
+    }
+
+  private:
+    SpscRing<T> ring_;
+    mutable std::mutex mu_;
+    std::vector<T> overflow_;
+    std::uint64_t overflowHighWater_ = 0;
+    std::atomic<std::size_t> overflowed_{0};
+};
+
+} // namespace babol::sim
+
+#endif // BABOL_SIM_SPSC_RING_HH

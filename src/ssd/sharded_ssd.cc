@@ -1,0 +1,186 @@
+#include "sharded_ssd.hh"
+
+#include "core/coro/coro_controller.hh"
+#include "core/hw/hw_controller.hh"
+#include "core/rtos_env/rtos_controller.hh"
+#include "ssd/lookahead.hh"
+
+namespace babol::ssd {
+
+ShardedSsd::ShardedSsd(const std::string &name, SsdConfig cfg)
+    : name_(name),
+      cfg_(cfg),
+      faults_(std::make_unique<fault::FaultEngine>()),
+      engine_(cfg.channels + 1,
+              interconnectLookahead(cfg.channel.package.timing))
+{
+    babol_assert(cfg_.channels >= 1 && cfg_.channels <= 16,
+                 "SSD supports 1..16 channels, got %u", cfg_.channels);
+
+    dram_ = std::make_unique<dram::DramBuffer>(hostQueue(), name + ".dram",
+                                               cfg_.dramBytes);
+
+    for (std::uint32_t ch = 0; ch < cfg_.channels; ++ch) {
+        EventQueue &ceq = engine_.queue(1 + ch);
+        core::ChannelConfig ccfg = cfg_.channel;
+        ccfg.externalDram = dram_.get();
+        ccfg.seed = cfg_.channel.seed + ch * 7717;
+        ccfg.package.faults = faults_.get();
+        systems_.push_back(std::make_unique<core::ChannelSystem>(
+            ceq, strfmt("%s.ch%u", name.c_str(), ch), ccfg));
+
+        core::ChannelSystem &sys = *systems_.back();
+        std::string cname = strfmt("%s.ch%u.ctrl", name.c_str(), ch);
+        core::SoftControllerConfig soft;
+        soft.cpuMhz = cfg_.cpuMhz;
+        if (cfg_.flavor == "coro") {
+            controllers_.push_back(std::make_unique<core::CoroController>(
+                ceq, cname, sys, soft));
+        } else if (cfg_.flavor == "rtos") {
+            controllers_.push_back(std::make_unique<core::RtosController>(
+                ceq, cname, sys, soft));
+        } else if (cfg_.flavor == "hw-sync") {
+            controllers_.push_back(std::make_unique<core::HwController>(
+                ceq, cname, sys, true));
+        } else if (cfg_.flavor == "hw-async" || cfg_.flavor == "hw") {
+            controllers_.push_back(std::make_unique<core::HwController>(
+                ceq, cname, sys, false));
+        } else {
+            fatal("unknown controller flavor '%s'", cfg_.flavor.c_str());
+        }
+    }
+
+    // One ExecContext per shard, all recording against the process
+    // metrics registry (counters stay shard-local; the registry mutex
+    // only guards registration). Installed around every bounded run of
+    // the shard, together with its detached auditor when one is live.
+    for (std::uint32_t s = 0; s < shardCount(); ++s) {
+        ctxs_.push_back(std::make_unique<obs::ExecContext>(
+            obs::interner(), &obs::hub().metrics(), s));
+        engine_.setShardHooks(
+            s,
+            [this, s] {
+                obs::Hub::exchangeCurrent(ctxs_[s].get());
+                obs::audit::Auditor::exchangeCurrent(
+                    s < auditors_.size() ? auditors_[s].get() : nullptr);
+            },
+            [] {
+                obs::Hub::exchangeCurrent(nullptr);
+                obs::audit::Auditor::exchangeCurrent(nullptr);
+            });
+    }
+
+    // Deterministic epoch merge of the per-shard trace rings into the
+    // hub's main recorder (and once more after the final window).
+    engine_.setEpochHook(64, [this] { mergeTraces(); });
+}
+
+ShardedSsd::~ShardedSsd() = default;
+
+core::ChannelSystem &
+ShardedSsd::channelSystem(std::uint32_t ch)
+{
+    babol_assert(ch < systems_.size(), "channel %u out of range", ch);
+    return *systems_[ch];
+}
+
+core::ChannelController &
+ShardedSsd::controller(std::uint32_t ch)
+{
+    babol_assert(ch < controllers_.size(), "channel %u out of range", ch);
+    return *controllers_[ch];
+}
+
+void
+ShardedSsd::mergeTraces()
+{
+    std::vector<obs::ExecContext *> shards;
+    shards.reserve(ctxs_.size());
+    for (auto &c : ctxs_)
+        shards.push_back(c.get());
+    obs::mergeShardTraces(obs::hub().trace(), shards.data(), shards.size());
+}
+
+void
+ShardedSsd::submit(core::FlashRequest req)
+{
+    const std::uint32_t ways = cfg_.channel.chips;
+    babol_assert(req.chip < backendChipCount(),
+                 "global chip %u out of range", req.chip);
+    const std::uint32_t channel = req.chip / ways;
+    req.chip = req.chip % ways;
+
+    // The completion crosses back host-ward over the same interconnect
+    // hop the dispatch pays; the classic Ssd charges the identical L on
+    // its shared queue, so both engines time the same device.
+    const Tick hop = lookahead();
+    if (req.onComplete) {
+        auto cb = std::move(req.onComplete);
+        req.onComplete = [this, channel, hop,
+                          cb = std::move(cb)](core::OpResult r) {
+            const Tick now = engine_.queue(1 + channel).now();
+            engine_.post(1 + channel, 0, now + hop,
+                         [cb, r] { cb(r); });
+        };
+    }
+
+    const Tick when = hostQueue().now() + hop;
+    engine_.post(0, 1 + channel, when,
+                 [this, channel, req = std::move(req)]() mutable {
+                     controllers_[channel]->submit(std::move(req));
+                 });
+}
+
+std::uint64_t
+ShardedSsd::run(std::uint32_t threads, Tick until)
+{
+    // Shard recorders mirror the main recorder's enable switch at entry
+    // so `--trace` harness flags reach every shard.
+    const bool tracing = obs::hub().trace().enabled();
+    for (auto &c : ctxs_)
+        c->trace.setEnabled(tracing);
+
+    // Fresh detached auditors mirroring the process instance's armed
+    // config; findings fold back in shard order below.
+    auditors_.clear();
+    for (std::uint32_t s = 0; s < shardCount(); ++s) {
+        auditors_.push_back(
+            obs::audit::Auditor::makeShard(obs::audit::Auditor::instance()));
+    }
+
+    const std::uint64_t fired = engine_.run(threads, until);
+
+    for (auto &a : auditors_)
+        obs::audit::Auditor::instance().absorb(*a);
+    auditors_.clear();
+    return fired;
+}
+
+std::uint64_t
+ShardedSsd::opsCompleted() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &ctrl : controllers_)
+        sum += ctrl->opsCompleted();
+    return sum;
+}
+
+std::uint64_t
+ShardedSsd::payloadBytesRead() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &ctrl : controllers_)
+        sum += ctrl->payloadBytesRead();
+    return sum;
+}
+
+std::uint64_t
+ShardedSsd::payloadBytesWritten() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &ctrl : controllers_)
+        sum += ctrl->payloadBytesWritten();
+    return sum;
+}
+
+} // namespace babol::ssd

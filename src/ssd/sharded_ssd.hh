@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The multi-core SSD: the same device Ssd builds — N channels sharing
+ * one staging DRAM behind a flat chip space — but partitioned across a
+ * ParallelEngine at channel granularity. Shard 0 is the host complex
+ * (HIC / FTL / workload generator / DRAM accounting); shard 1+ch runs
+ * channel ch's ChannelSystem and controller on its own EventQueue.
+ *
+ * The FTL talks to a ShardedSsd exactly as it talks to an Ssd: through
+ * FlashBackend::submit(). The submit crosses to the channel shard over
+ * a shard link after the modeled interconnect hop L (ssd/lookahead.hh),
+ * and the completion crosses back the same way — the identical hop the
+ * classic Ssd charges on its single queue, so a one-thread sharded run
+ * simulates the same device as the classic engine.
+ *
+ * Shard topology — and with it every window edge, link ordering and
+ * trace merge order — depends only on the channel count, never on the
+ * worker-thread count, so runs are byte-reproducible at any --threads.
+ *
+ * Observability: every shard gets a private ExecContext (trace ring +
+ * span-id namespace) installed via the engine's shard hooks; rings are
+ * merged deterministically into the hub's main recorder at epoch
+ * barriers, so exporters and the audit conservation pass see one
+ * coherent trace. Each shard likewise gets a detached Auditor clone
+ * whose findings are absorbed into the process auditor after the run.
+ *
+ * The device owns its FaultEngine (wired through PackageConfig::faults)
+ * so back-to-back sims and fleet members never bleed campaign state
+ * into each other.
+ */
+
+#ifndef BABOL_SSD_SHARDED_SSD_HH
+#define BABOL_SSD_SHARDED_SSD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/controller.hh"
+#include "obs/audit/auditor.hh"
+#include "obs/hub.hh"
+#include "sim/parallel.hh"
+#include "ssd/ssd.hh"
+
+namespace babol::ssd {
+
+class ShardedSsd : public core::FlashBackend
+{
+  public:
+    ShardedSsd(const std::string &name, SsdConfig cfg);
+    ~ShardedSsd() override;
+
+    const std::string &name() const { return name_; }
+    const SsdConfig &config() const { return cfg_; }
+
+    std::uint32_t channelCount() const { return cfg_.channels; }
+    std::uint32_t waysPerChannel() const { return cfg_.channel.chips; }
+
+    /** Shard count: host + one per channel. */
+    std::uint32_t shardCount() const { return cfg_.channels + 1; }
+
+    sim::ParallelEngine &engine() { return engine_; }
+
+    /** Queue of the host shard — build the FTL / workload here. */
+    EventQueue &hostQueue() { return engine_.queue(0); }
+
+    /** The modeled host<->channel hop == the engine's lookahead L. */
+    Tick lookahead() const { return engine_.lookahead(); }
+
+    /** This device's fault engine (arm campaigns here, not on the
+     *  process default). */
+    fault::FaultEngine &faults() const { return *faults_; }
+
+    core::ChannelSystem &channelSystem(std::uint32_t ch);
+    core::ChannelController &controller(std::uint32_t ch);
+
+    /**
+     * Run the device with @p threads workers until every shard drains
+     * or simulated time would pass @p until. Byte-identical results at
+     * any thread count. @return total events fired.
+     */
+    std::uint64_t run(std::uint32_t threads, Tick until = kMaxTick);
+
+    // --- FlashBackend (call from host-shard code only) ---
+    void submit(core::FlashRequest req) override;
+    std::uint32_t backendChipCount() const override
+    {
+        return cfg_.channels * cfg_.channel.chips;
+    }
+    const nand::Geometry &backendGeometry() const override
+    {
+        return cfg_.channel.package.geometry;
+    }
+    dram::DramBuffer &backendDram() override { return *dram_; }
+    fault::FaultEngine &backendFaults() override { return *faults_; }
+
+    // --- Aggregated stats (read after run() returns) ---
+    std::uint64_t opsCompleted() const;
+    std::uint64_t payloadBytesRead() const;
+    std::uint64_t payloadBytesWritten() const;
+
+  private:
+    void mergeTraces();
+
+    std::string name_;
+    SsdConfig cfg_;
+    std::unique_ptr<fault::FaultEngine> faults_;
+    sim::ParallelEngine engine_;
+    std::unique_ptr<dram::DramBuffer> dram_;
+    std::vector<std::unique_ptr<core::ChannelSystem>> systems_;
+    std::vector<std::unique_ptr<core::ChannelController>> controllers_;
+
+    /** Per-shard obs/audit contexts, installed by the shard hooks. */
+    std::vector<std::unique_ptr<obs::ExecContext>> ctxs_;
+    std::vector<std::unique_ptr<obs::audit::Auditor>> auditors_;
+};
+
+} // namespace babol::ssd
+
+#endif // BABOL_SSD_SHARDED_SSD_HH

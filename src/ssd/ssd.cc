@@ -3,6 +3,7 @@
 #include "core/coro/coro_controller.hh"
 #include "core/hw/hw_controller.hh"
 #include "core/rtos_env/rtos_controller.hh"
+#include "ssd/lookahead.hh"
 
 namespace babol::ssd {
 
@@ -11,6 +12,12 @@ Ssd::Ssd(EventQueue &eq, const std::string &name, SsdConfig cfg)
 {
     babol_assert(cfg_.channels >= 1 && cfg_.channels <= 16,
                  "SSD supports 1..16 channels, got %u", cfg_.channels);
+
+    if (!cfg_.channel.package.faults) {
+        faultsOwned_ = std::make_unique<fault::FaultEngine>();
+        cfg_.channel.package.faults = faultsOwned_.get();
+    }
+    lookahead_ = interconnectLookahead(cfg_.channel.package.timing);
 
     dram_ = std::make_unique<dram::DramBuffer>(eq, name + ".dram",
                                                cfg_.dramBytes);
@@ -66,9 +73,24 @@ Ssd::submit(core::FlashRequest req)
     const std::uint32_t ways = cfg_.channel.chips;
     babol_assert(req.chip < backendChipCount(),
                  "global chip %u out of range", req.chip);
-    std::uint32_t channel = req.chip / ways;
+    const std::uint32_t channel = req.chip / ways;
     req.chip = req.chip % ways;
-    controllers_[channel]->submit(std::move(req));
+
+    // Model the host<->channel interconnect: dispatch and completion
+    // each pay the hop L. Charging it here rather than inside the
+    // controller keeps this engine cycle-compatible with ShardedSsd,
+    // whose shard links carry the same L as their lookahead.
+    if (req.onComplete) {
+        auto cb = std::move(req.onComplete);
+        req.onComplete = [this, cb = std::move(cb)](core::OpResult r) {
+            scheduleIn(lookahead_, [cb, r] { cb(r); }, "ssd.complete");
+        };
+    }
+    scheduleIn(lookahead_,
+               [this, channel, req = std::move(req)]() mutable {
+                   controllers_[channel]->submit(std::move(req));
+               },
+               "ssd.dispatch");
 }
 
 std::uint64_t

@@ -49,6 +49,18 @@ class Ssd : public SimObject, public core::FlashBackend
     core::ChannelSystem &channelSystem(std::uint32_t ch);
     core::ChannelController &controller(std::uint32_t ch);
 
+    /** This device's fault engine — arm campaigns here, not on the
+     *  process default (the device wires its own unless the config
+     *  already carries one). */
+    fault::FaultEngine &faults() const
+    {
+        return fault::engineOf(cfg_.channel.package.faults);
+    }
+
+    /** The modeled host<->channel interconnect hop charged on dispatch
+     *  and completion (ssd/lookahead.hh). */
+    Tick lookahead() const { return lookahead_; }
+
     // --- FlashBackend ---
     void submit(core::FlashRequest req) override;
     std::uint32_t backendChipCount() const override
@@ -60,6 +72,7 @@ class Ssd : public SimObject, public core::FlashBackend
         return cfg_.channel.package.geometry;
     }
     dram::DramBuffer &backendDram() override { return *dram_; }
+    fault::FaultEngine &backendFaults() override { return faults(); }
 
     // --- Aggregated stats ---
     std::uint64_t opsCompleted() const;
@@ -68,6 +81,11 @@ class Ssd : public SimObject, public core::FlashBackend
 
   private:
     SsdConfig cfg_;
+
+    /** Owned engine when the config wired none (destroyed last). */
+    std::unique_ptr<fault::FaultEngine> faultsOwned_;
+
+    Tick lookahead_ = 0;
     std::unique_ptr<dram::DramBuffer> dram_;
     std::vector<std::unique_ptr<core::ChannelSystem>> systems_;
     std::vector<std::unique_ptr<core::ChannelController>> controllers_;
