@@ -16,6 +16,7 @@
 #include "bench_common.hh"
 #include "ftl/ftl.hh"
 #include "host/fio.hh"
+#include "host/nvme/client.hh"
 #include "obs/cli.hh"
 #include "ssd/sharded_ssd.hh"
 
@@ -78,6 +79,78 @@ runSsd(const std::string &flavor, std::uint32_t ways, bool random_pattern)
  * CI scaling smoke checks by diffing this mode's output across thread
  * counts.
  */
+/**
+ * Fig. 12 through the NVMe-style queued front end: the same sharded
+ * device, but the measured random-read workload reaches it via @p
+ * qpairs submission/completion queue pairs (DRAM rings, doorbells,
+ * interrupt coalescing) instead of direct FTL calls — quantifying what
+ * the production queueing path costs relative to the direct-call
+ * numbers. Byte-identical at any @p threads.
+ */
+double
+runShardedNvme(const std::string &flavor, std::uint32_t channels,
+               std::uint32_t ways, std::uint32_t qpairs,
+               std::uint32_t threads)
+{
+    ssd::SsdConfig cfg;
+    cfg.channels = channels;
+    cfg.flavor = flavor == "hw" ? "hw-async" : flavor;
+    cfg.channel.package = nand::hynixPackage();
+    cfg.channel.chips = ways;
+    cfg.channel.rateMT = 200;
+    cfg.channel.seed = 5;
+    cfg.cpuMhz = 1000;
+    ssd::ShardedSsd dev("ssd", cfg);
+
+    ftl::FtlConfig fcfg;
+    fcfg.blocksPerChip = 4;
+    fcfg.overprovision = 0.25;
+    ftl::PageFtl ftl(dev.hostQueue(), "ftl", dev, fcfg);
+
+    const std::uint64_t extent = 64ull * channels * ways;
+
+    host::FioConfig fill_cfg;
+    fill_cfg.queueDepth = 2 * channels * ways;
+    fill_cfg.dramBase = 0;
+    host::FioEngine filler(dev.hostQueue(), "fill", ftl, fill_cfg);
+    bool filled = false;
+    filler.fill(extent, [&] { filled = true; });
+    dev.run(threads);
+    babol_assert(filled, "fill never completed");
+
+    host::HicConfig hcfg;
+    hcfg.maxInflight = 64;
+    host::Hic hic(dev.hostQueue(), "hic", ftl, hcfg);
+
+    host::nvme::NvmeConfig ncfg;
+    ncfg.queuePairs = qpairs;
+    ncfg.maxInflight = 64;
+    ncfg.dramBase = 1 << 20;
+    host::nvme::NvmeFrontEnd fe(dev.hostQueue(), "nvme", hic, ncfg);
+
+    // One client striped across every queue pair, matching the direct
+    // path's depth-32 random READ workload. LBAs stay inside the
+    // preconditioned extent.
+    obs::MetricsRegistry reg;
+    host::nvme::TenantConfig tcfg;
+    tcfg.seed = 99;
+    tcfg.queueDepth = 32;
+    tcfg.totalIos = 300;
+    tcfg.sectors = hic.sectorsPerPage(); // page-sized, like FioEngine
+    tcfg.dramBase = 8 << 20;
+    tcfg.lbaSpan = extent * hic.sectorsPerPage();
+    host::nvme::TenantClient client(dev.hostQueue(), "fig12", fe, reg,
+                                    tcfg);
+    const Tick start = dev.hostQueue().now();
+    bool done = false;
+    client.start([&] { done = true; });
+    dev.run(threads);
+    babol_assert(done && client.errors() == 0, "nvme fio run failed");
+    const Tick elapsed = dev.hostQueue().now() - start;
+    const std::uint64_t bytes = 300ull * tcfg.sectors * hic.sectorBytes();
+    return bandwidthMBps(bytes, elapsed);
+}
+
 double
 runShardedSsd(const std::string &flavor, std::uint32_t channels,
               std::uint32_t ways, bool random_pattern,
@@ -132,6 +205,7 @@ main(int argc, char **argv)
 {
     bool quick = false, csv = false;
     std::uint32_t threads = 0; // 0 = classic single-queue engine
+    std::uint32_t qpairs = 0;  // 0 = direct-call host path
     obs::cli::Options obs_opts;
     for (int i = 1; i < argc; ++i) {
         if (obs_opts.parse(argc, argv, i))
@@ -142,8 +216,36 @@ main(int argc, char **argv)
             csv = true;
         if (std::string(argv[i]) == "--threads" && i + 1 < argc)
             threads = std::strtoul(argv[++i], nullptr, 10);
+        if (std::string(argv[i]) == "--qpairs" && i + 1 < argc)
+            qpairs = std::strtoul(argv[++i], nullptr, 10);
     }
     obs_opts.applyStartup();
+
+    if (qpairs > 0) {
+        // Queued-front-end mode (implies the sharded engine): random
+        // READ through N NVMe-style queue pairs vs the direct path.
+        if (threads == 0)
+            threads = 1;
+        const std::uint32_t channels = quick ? 2 : 4;
+        const std::uint32_t ways = quick ? 2 : 4;
+        std::cout << "FIGURE 12 (NVMe front end, " << qpairs
+                  << " queue pair(s)): " << channels << "-channel x "
+                  << ways << "-way random READ bandwidth (MB/s)\n\n";
+        Table table({"Controller", "direct", "queued"});
+        for (std::string flavor : {"hw", "rtos", "coro"}) {
+            table.addRow(
+                {flavor == "hw" ? "Cosmos+ baseline (hw)" : flavor,
+                 Table::num(runShardedSsd(flavor, channels, ways, true,
+                                          threads), 1),
+                 Table::num(runShardedNvme(flavor, channels, ways,
+                                           qpairs, threads), 1)});
+        }
+        if (csv)
+            table.printCsv(std::cout);
+        else
+            table.print(std::cout);
+        return obs_opts.finalize();
+    }
 
     if (threads > 0) {
         // Sharded-engine mode: the output depends only on the model, so

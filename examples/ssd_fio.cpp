@@ -25,6 +25,20 @@
  * private metrics registry, trace ring, fault engine, and a
  * deterministic per-member seed, so results are byte-identical at any
  * T; the per-member report and the fleet aggregate prove it.
+ *
+ * --qpairs N switches to the NVMe-style queued front end: a sharded
+ * multi-channel device reached through N submission/completion queue
+ * pairs (DRAM rings + doorbells + interrupt coalescing) instead of
+ * direct FTL calls. In this mode:
+ *
+ *   --replay FILE   replay a Flashmon-style block trace (time_us R|W
+ *                   lba sectors) paced against simulated time
+ *   --tenants N     run N simulated clients sharing the queue pairs,
+ *                   each with a token-bucket rate class and its own
+ *                   latency SLO distribution
+ *   --slo-out FILE  write the per-tenant p50/p99/p999 SLO report as
+ *                   JSON (byte-identical at any --threads)
+ *   --threads T     worker threads for the sharded engine
  */
 
 #include <algorithm>
@@ -40,10 +54,13 @@
 #include "fault/fault_engine.hh"
 #include "ftl/ftl.hh"
 #include "host/fio.hh"
+#include "host/nvme/client.hh"
+#include "host/replay/replay.hh"
 #include "obs/audit/auditor.hh"
 #include "obs/cli.hh"
 #include "obs/perfetto.hh"
 #include "sim/fleet.hh"
+#include "ssd/sharded_ssd.hh"
 
 using namespace babol;
 using namespace babol::core;
@@ -199,6 +216,162 @@ runFleet(const std::string &flavor, const fault::FaultPlan *plan,
     return 0;
 }
 
+/**
+ * The NVMe-queued front-end mode: a sharded 2-channel device reached
+ * through queue pairs, optionally replaying a trace and/or serving N
+ * rate-classed tenants. All host-side machinery lives on shard 0, so
+ * the run — including the SLO JSON — is byte-identical at any
+ * --threads.
+ */
+int
+runNvme(const std::string &flavor, std::uint32_t qpairs,
+        const std::string &replay_path, std::uint32_t tenants,
+        const std::string &slo_out, std::uint32_t threads,
+        obs::cli::Options &obs_opts)
+{
+    if (threads == 0)
+        threads = 1;
+
+    ssd::SsdConfig cfg;
+    cfg.channels = 2;
+    cfg.flavor = flavor == "hw" ? "hw-async" : flavor;
+    cfg.channel.package = nand::hynixPackage();
+    cfg.channel.chips = 4;
+    cfg.channel.rateMT = 200;
+    cfg.channel.seed = 5;
+    cfg.cpuMhz = 1000;
+    ssd::ShardedSsd dev("ssd", cfg);
+
+    ftl::FtlConfig fcfg;
+    fcfg.blocksPerChip = 4;
+    fcfg.overprovision = 0.25;
+    ftl::PageFtl ftl(dev.hostQueue(), "ftl", dev, fcfg);
+
+    host::HicConfig hcfg;
+    hcfg.maxInflight = 64;
+    host::Hic hic(dev.hostQueue(), "hic", ftl, hcfg);
+
+    host::nvme::NvmeConfig ncfg;
+    ncfg.queuePairs = qpairs;
+    ncfg.maxInflight = 64;
+    ncfg.dramBase = 1 << 20;
+    host::nvme::NvmeFrontEnd fe(dev.hostQueue(), "nvme", hic, ncfg);
+
+    std::printf("NVMe front end: %u queue pair(s) over a 2-channel x "
+                "4-way %s device, %u thread(s)\n",
+                qpairs, cfg.flavor.c_str(), threads);
+
+    // Precondition: fill half the logical space (direct FTL path; the
+    // queued front end is for the measured phases).
+    const std::uint64_t extent = ftl.logicalPages() / 2;
+    host::FioConfig fill_cfg;
+    fill_cfg.queueDepth = 16;
+    host::FioEngine filler(dev.hostQueue(), "fill", ftl, fill_cfg);
+    bool filled = false;
+    filler.fill(extent, [&] { filled = true; });
+    dev.run(threads);
+    if (!filled)
+        fatal("fill did not complete");
+    if (obs::trace().enabled())
+        obs::trace().clear();
+
+    // --- Phase 1: trace replay ---
+    if (!replay_path.empty()) {
+        auto ops = host::replay::loadTraceFile(replay_path);
+        const std::size_t records = ops.size();
+        host::replay::ReplayConfig rcfg;
+        rcfg.dramBase = 4 << 20;
+        host::replay::ReplayEngine rep(dev.hostQueue(), "replay", fe,
+                                       std::move(ops), rcfg);
+        bool done = false;
+        rep.start([&] { done = true; });
+        dev.run(threads);
+        if (!done || rep.errors())
+            fatal("trace replay failed (%llu errors)",
+                  static_cast<unsigned long long>(rep.errors()));
+        std::printf("replayed %zu record(s) from %s: %.0f IOPS, "
+                    "%llu late, lat p50/p99/p999 = %.0f/%.0f/%.0f us\n",
+                    records, replay_path.c_str(), rep.iops(),
+                    static_cast<unsigned long long>(rep.lateIos()),
+                    rep.latencyUs().histPercentile(50),
+                    rep.latencyUs().histPercentile(99),
+                    rep.latencyUs().histPercentile(99.9));
+    }
+
+    // --- Phase 2: multi-tenant QoS ---
+    if (tenants > 0) {
+        // The SLO report uses a private registry so it holds exactly
+        // the per-tenant rows, name-sorted by the zero-padded prefix.
+        obs::MetricsRegistry sloReg;
+        std::vector<std::unique_ptr<host::nvme::TenantClient>> clients;
+        clients.reserve(tenants);
+        std::uint32_t done_count = 0;
+        for (std::uint32_t t = 0; t < tenants; ++t) {
+            host::nvme::TenantConfig tcfg;
+            tcfg.tenant = t;
+            tcfg.seed = sim::FleetEngine::memberSeed(42, t);
+            tcfg.queueDepth = 2;
+            tcfg.totalIos = 20;
+            // Three deterministic rate classes: unthrottled, 4k IOPS,
+            // 1k IOPS — the QoS contrast the SLO report shows.
+            tcfg.ratePerSec = (t % 3 == 0) ? 0 : (t % 3 == 1) ? 4000 : 1000;
+            tcfg.burst = 4;
+            tcfg.dramBase =
+                (16 << 20) +
+                std::uint64_t(t) * tcfg.queueDepth * hic.sectorBytes();
+            clients.push_back(std::make_unique<host::nvme::TenantClient>(
+                dev.hostQueue(), strfmt("tenant%04u", t), fe, sloReg,
+                tcfg));
+        }
+        for (auto &c : clients)
+            c->start([&] { ++done_count; });
+        dev.run(threads);
+        if (done_count != tenants)
+            fatal("only %u of %u tenants finished", done_count, tenants);
+
+        std::uint64_t total_ios = 0, total_errors = 0, throttled = 0;
+        double worst_p99 = 0, worst_p999 = 0;
+        for (const auto &c : clients) {
+            total_ios += c->completed();
+            total_errors += c->errors();
+            throttled += c->throttledWaits();
+            worst_p99 = std::max(worst_p99,
+                                 c->latencyUs().histPercentile(99));
+            worst_p999 = std::max(worst_p999,
+                                  c->latencyUs().histPercentile(99.9));
+        }
+        if (total_errors)
+            fatal("tenant I/O errors: %llu",
+                  static_cast<unsigned long long>(total_errors));
+        std::printf("%u tenant(s): %llu IOs, %llu throttle wait(s), "
+                    "worst p99/p999 = %.0f/%.0f us\n",
+                    tenants, static_cast<unsigned long long>(total_ios),
+                    static_cast<unsigned long long>(throttled),
+                    worst_p99, worst_p999);
+
+        if (!slo_out.empty()) {
+            std::ofstream out(slo_out);
+            if (!out)
+                fatal("cannot write %s", slo_out.c_str());
+            sloReg.writeJson(out);
+            std::printf("per-tenant SLO report -> %s\n", slo_out.c_str());
+        }
+    }
+
+    std::printf("front end: %llu submitted, %llu completed, %llu "
+                "interrupt(s) (max %llu CQEs coalesced), %llu SQ-full "
+                "reject(s), %llu HIC stall(s)\n",
+                static_cast<unsigned long long>(fe.submitted()),
+                static_cast<unsigned long long>(fe.completed()),
+                static_cast<unsigned long long>(fe.interrupts()),
+                static_cast<unsigned long long>(fe.maxCoalesced()),
+                static_cast<unsigned long long>(fe.sqFullRejects()),
+                static_cast<unsigned long long>(fe.hicStalls()));
+
+    obs_opts.captureMetrics(dev.hostQueue());
+    return obs_opts.finalize();
+}
+
 } // namespace
 
 int
@@ -206,9 +379,13 @@ main(int argc, char **argv)
 {
     std::string flavor = "coro";
     std::string fault_plan_path;
+    std::string replay_path;
+    std::string slo_out;
     std::size_t fleet = 0;
     std::uint32_t streams = 1;
     std::uint32_t threads = 1;
+    std::uint32_t qpairs = 0;
+    std::uint32_t tenants = 0;
     obs::cli::Options obs_opts;
     for (int i = 1; i < argc; ++i) {
         if (obs_opts.parse(argc, argv, i))
@@ -233,14 +410,43 @@ main(int argc, char **argv)
             threads = std::strtoul(argv[++i], nullptr, 10);
             continue;
         }
+        if (std::strcmp(argv[i], "--qpairs") == 0 && i + 1 < argc) {
+            qpairs = std::strtoul(argv[++i], nullptr, 10);
+            continue;
+        }
+        if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
+            replay_path = argv[++i];
+            continue;
+        }
+        if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
+            tenants = std::strtoul(argv[++i], nullptr, 10);
+            continue;
+        }
+        if (std::strcmp(argv[i], "--slo-out") == 0 && i + 1 < argc) {
+            slo_out = argv[++i];
+            continue;
+        }
         if (argv[i][0] != '-')
             flavor = argv[i];
         else
             fatal("usage: ssd_fio [coro|rtos|hw] [--faults plan.txt] "
-                  "[--fleet N] [--streams M] [--threads T] %s",
+                  "[--fleet N] [--streams M] [--threads T] "
+                  "[--qpairs N [--replay FILE] [--tenants N] "
+                  "[--slo-out FILE]] %s",
                   obs::cli::Options::usage());
     }
     obs_opts.applyStartup();
+
+    if ((!replay_path.empty() || tenants > 0 || !slo_out.empty()) &&
+        qpairs == 0)
+        fatal("--replay/--tenants/--slo-out need the queued front end: "
+              "pass --qpairs N");
+    if (qpairs > 0) {
+        if (replay_path.empty() && tenants == 0)
+            tenants = 8; // a front-end demo needs traffic
+        return runNvme(flavor, qpairs, replay_path, tenants, slo_out,
+                       threads, obs_opts);
+    }
 
     fault::FaultPlan plan;
     bool have_plan = false;

@@ -21,8 +21,10 @@
 #                  1/2/4 threads (requires a prior plain build; runs one
 #                  if build/ is missing)
 #   --guard-only   bench-regression + tracing-overhead guards and the
-#                  sharded determinism smoke: fig12 --threads 1/2/4 must
-#                  print byte-identical tables (same build requirement)
+#                  determinism smokes: fig12 --threads 1/2/4 must print
+#                  byte-identical tables, and the multi-tenant SLO JSON
+#                  must be byte-identical across thread counts (same
+#                  build requirement)
 #
 # Usage: scripts/ci.sh
 #   [--plain-only|--asan-only|--tsan-only|--audit-only|--guard-only]
@@ -90,6 +92,14 @@ stage_audit() {
         BABOL_AUDIT=1 "$ROOT/build/bench/fig12_end_to_end" --quick \
             --threads "$t" >/dev/null
     done
+
+    # The NVMe front end replayed on the sharded engine must audit
+    # clean too: queue fetches/CQE posts ride the host shard while
+    # flash work crosses shard links.
+    echo "=== tier-1: sharded trace replay audit (4 threads) ==="
+    BABOL_AUDIT=1 "$ROOT/build/examples/ssd_fio" coro --qpairs 2 \
+        --replay "$ROOT/examples/trace_sample.txt" --threads 4 \
+        | tail -3
 
     echo "=== tier-1: fault campaigns (every flavour, audit-clean) ==="
     mkdir -p "$ROOT/build/audit-reports"
@@ -173,6 +183,20 @@ stage_guard() {
         exit 1
     }
     echo "    identical tables at 1, 2, and 4 threads"
+
+    # Multi-tenant determinism smoke: the per-tenant SLO report is a
+    # pure function of the model too — two runs at different thread
+    # counts must produce byte-identical JSON.
+    echo "=== tier-1: multi-tenant SLO determinism smoke ==="
+    "$ROOT/build/examples/ssd_fio" coro --qpairs 4 --tenants 50 \
+        --slo-out "$ROOT/build/slo_t1.json" --threads 1 >/dev/null
+    "$ROOT/build/examples/ssd_fio" coro --qpairs 4 --tenants 50 \
+        --slo-out "$ROOT/build/slo_t4.json" --threads 4 >/dev/null
+    cmp "$ROOT/build/slo_t1.json" "$ROOT/build/slo_t4.json" || {
+        echo "FAIL: tenant SLO report differs between 1 and 4 threads"
+        exit 1
+    }
+    echo "    identical SLO JSON at 1 and 4 threads (50 tenants)"
 }
 
 case "$MODE" in

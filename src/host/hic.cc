@@ -14,6 +14,7 @@ Hic::Hic(EventQueue &eq, const std::string &name, ftl::PageFtl &ftl,
     metrics_.value("ios_failed", [this] { return iosFailed_; });
     metrics_.value("page_ops", [this] { return pageOps_; });
     metrics_.value("rmw", [this] { return rmw_; });
+    metrics_.value("in_flight", [this] { return inFlight_; });
 
     babol_assert(ftl.pageBytes() % cfg_.sectorBytes == 0,
                  "page size %u not a multiple of the sector size %u",
@@ -95,6 +96,8 @@ Hic::pieceDone(const std::shared_ptr<IoState> &state, bool ok)
             ++iosFailed_;
         else
             ++iosCompleted_;
+        babol_assert(inFlight_ > 0, "in-flight window underflow");
+        --inFlight_;
         obs::trace().endSpan(state->span, curTick());
         if (state->io.onComplete)
             state->io.onComplete(!state->failed);
@@ -105,6 +108,11 @@ void
 Hic::submit(HostIo io)
 {
     babol_assert(io.sectors >= 1, "empty host I/O");
+    babol_assert(canAccept(),
+                 "HIC over its in-flight window (%u of %u): gate "
+                 "submissions on canAccept()",
+                 inFlight_, cfg_.maxInflight);
+    ++inFlight_;
     babol_assert(io.lba + io.sectors <= totalSectors(),
                  "host I/O [%llu, %llu) beyond device end %llu",
                  static_cast<unsigned long long>(io.lba),
@@ -136,8 +144,11 @@ Hic::submit(HostIo io)
         issuePagePiece(state, lpn, s0, s1 - s0, host_addr);
     }
     state->issuedAll = true;
-    if (state->outstanding == 0 && state->io.onComplete)
-        state->io.onComplete(true); // cannot happen with sectors >= 1
+    if (state->outstanding == 0) { // cannot happen with sectors >= 1
+        --inFlight_;
+        if (state->io.onComplete)
+            state->io.onComplete(true);
+    }
 }
 
 void

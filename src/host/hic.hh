@@ -40,6 +40,14 @@ struct HicConfig
     /** Scratch slots for partial-page gathers/RMW (bounds concurrent
      *  sub-page operations). */
     std::uint32_t scratchSlots = 8;
+
+    /**
+     * Host I/Os the HIC accepts concurrently; 0 = unbounded (the
+     * pre-queueing behaviour). Queue-pair front ends gate their command
+     * fetch on canAccept(), so a full HIC backs traffic up into the
+     * submission queues instead of growing unbounded internal state.
+     */
+    std::uint32_t maxInflight = 0;
 };
 
 class Hic : public SimObject
@@ -57,8 +65,20 @@ class Hic : public SimObject
     std::uint32_t sectorBytes() const { return cfg_.sectorBytes; }
     std::uint32_t sectorsPerPage() const { return sectorsPerPage_; }
 
-    /** Accept one host I/O. */
+    /** Accept one host I/O. Callers must hold canAccept() true. */
     void submit(HostIo io);
+
+    /** True while the in-flight window has room for another submit. */
+    bool canAccept() const
+    {
+        return cfg_.maxInflight == 0 || inFlight_ < cfg_.maxInflight;
+    }
+
+    std::uint32_t inFlight() const { return inFlight_; }
+    std::uint32_t maxInflight() const { return cfg_.maxInflight; }
+
+    /** The staging DRAM behind this HIC (queue rings live here too). */
+    dram::DramBuffer &dram() { return ftl_.backend().backendDram(); }
 
     // --- Stats ---
     std::uint64_t iosCompleted() const { return iosCompleted_; }
@@ -104,6 +124,7 @@ class Hic : public SimObject
     std::unordered_map<std::uint64_t, std::deque<std::function<void()>>>
         pageWaiters_;
 
+    std::uint32_t inFlight_ = 0;
     std::uint64_t iosCompleted_ = 0;
     std::uint64_t iosFailed_ = 0;
     std::uint64_t pageOps_ = 0;

@@ -155,6 +155,7 @@ MetricsRegistry::snapshot() const
             out.p50 = d.histPercentile(50);
             out.p95 = d.histPercentile(95);
             out.p99 = d.histPercentile(99);
+            out.p999 = d.histPercentile(99.9);
             snap.dists.push_back(std::move(out));
             break;
           }
@@ -219,6 +220,8 @@ MetricsRegistry::writeJson(std::ostream &os, const MetricsSnapshot &snap)
         writeJsonDouble(os, d.p95);
         os << ", \"p99\": ";
         writeJsonDouble(os, d.p99);
+        os << ", \"p999\": ";
+        writeJsonDouble(os, d.p999);
         os << '}';
     }
     os << (first ? "}\n" : "\n  }\n");

@@ -43,7 +43,7 @@ struct MetricsSnapshot
         std::string name;
         std::uint64_t count = 0;
         double sum = 0, mean = 0, min = 0, max = 0;
-        double p50 = 0, p95 = 0, p99 = 0;
+        double p50 = 0, p95 = 0, p99 = 0, p999 = 0;
     };
 
     std::vector<Scalar> scalars; //!< sorted by name

@@ -1,5 +1,6 @@
 #include "parallel.hh"
 
+#include <algorithm>
 #include <barrier>
 #include <thread>
 
@@ -49,6 +50,16 @@ ShardLink<ParallelEngine::Msg> &
 ParallelEngine::link(std::uint32_t from, std::uint32_t to)
 {
     return *links_[std::size_t(from) * shardCount_ + to];
+}
+
+std::uint64_t
+ParallelEngine::maxLinkOverflowHighWater() const
+{
+    std::uint64_t hw = 0;
+    for (const auto &l : links_)
+        if (l) // self-links are never created
+            hw = std::max(hw, l->overflowHighWater());
+    return hw;
 }
 
 void

@@ -111,6 +111,15 @@ class ParallelEngine
     /** Messages delivered across shard links (all links, lifetime). */
     std::uint64_t crossShardMessages() const { return messages_; }
 
+    /**
+     * Deepest overflow backlog any cross-shard link ever reached: how
+     * far past its lock-free ring a link spilled into the mutex-guarded
+     * overflow list. Zero means every message fit the rings; sustained
+     * positives mean the rings are undersized for the traffic. Call at
+     * quiesced points (between runs, or from an epoch hook).
+     */
+    std::uint64_t maxLinkOverflowHighWater() const;
+
   private:
     struct Msg
     {

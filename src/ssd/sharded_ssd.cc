@@ -12,7 +12,8 @@ ShardedSsd::ShardedSsd(const std::string &name, SsdConfig cfg)
       cfg_(cfg),
       faults_(std::make_unique<fault::FaultEngine>()),
       engine_(cfg.channels + 1,
-              interconnectLookahead(cfg.channel.package.timing))
+              interconnectLookahead(cfg.channel.package.timing)),
+      metrics_(obs::metrics(), name + ".engine")
 {
     babol_assert(cfg_.channels >= 1 && cfg_.channels <= 16,
                  "SSD supports 1..16 channels, got %u", cfg_.channels);
@@ -73,6 +74,14 @@ ShardedSsd::ShardedSsd(const std::string &name, SsdConfig cfg)
     // Deterministic epoch merge of the per-shard trace rings into the
     // hub's main recorder (and once more after the final window).
     engine_.setEpochHook(64, [this] { mergeTraces(); });
+
+    // Engine health for --metrics-out: how hard the cross-shard rings
+    // are being pushed, next to the traffic that pushed them.
+    metrics_.value("cross_shard_messages",
+                   [this] { return engine_.crossShardMessages(); });
+    metrics_.value("windows", [this] { return engine_.windowCount(); });
+    metrics_.value("link_overflow_high_water",
+                   [this] { return engine_.maxLinkOverflowHighWater(); });
 }
 
 ShardedSsd::~ShardedSsd() = default;

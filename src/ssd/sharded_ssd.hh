@@ -113,6 +113,9 @@ class ShardedSsd : public core::FlashBackend
     /** Per-shard obs/audit contexts, installed by the shard hooks. */
     std::vector<std::unique_ptr<obs::ExecContext>> ctxs_;
     std::vector<std::unique_ptr<obs::audit::Auditor>> auditors_;
+
+    /** Last member: deregisters before the engine it polls dies. */
+    obs::MetricsGroup metrics_;
 };
 
 } // namespace babol::ssd
