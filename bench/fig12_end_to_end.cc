@@ -18,6 +18,7 @@
 #include "host/fio.hh"
 #include "host/nvme/client.hh"
 #include "obs/cli.hh"
+#include "obs/power/power.hh"
 #include "ssd/sharded_ssd.hh"
 
 using namespace babol;
@@ -25,7 +26,22 @@ using namespace babol::bench;
 
 namespace {
 
+/** Bandwidth plus the energy cost of the measured 300-IO phase. */
+struct RunResult
+{
+    double mbps = 0;
+    double njPerIo = 0;
+};
+
+/** Energy per IO from a grand-total delta over the measured phase. */
 double
+njPerIoDelta(std::uint64_t e0_fj, std::uint64_t e1_fj, std::uint64_t ios)
+{
+    return static_cast<double>(e1_fj - e0_fj) /
+           static_cast<double>(ios) / 1e6;
+}
+
+RunResult
 runSsd(const std::string &flavor, std::uint32_t ways, bool random_pattern)
 {
     EventQueue eq;
@@ -64,11 +80,14 @@ runSsd(const std::string &flavor, std::uint32_t ways, bool random_pattern)
     cfg_io.dramBase = 8 << 20;
     cfg_io.seed = 99;
     host::FioEngine engine(eq, "fio", ftl, cfg_io);
+    auto &pm = obs::power::PowerModel::instance();
+    const std::uint64_t e0 = pm.grandTotalFjAt(eq.now());
     bool done = false;
     engine.start([&] { done = true; });
     eq.run();
     babol_assert(done && engine.errors() == 0, "fio run failed");
-    return engine.bandwidthMBps();
+    const std::uint64_t e1 = pm.grandTotalFjAt(eq.now());
+    return {engine.bandwidthMBps(), njPerIoDelta(e0, e1, 300)};
 }
 
 /**
@@ -87,7 +106,7 @@ runSsd(const std::string &flavor, std::uint32_t ways, bool random_pattern)
  * the production queueing path costs relative to the direct-call
  * numbers. Byte-identical at any @p threads.
  */
-double
+RunResult
 runShardedNvme(const std::string &flavor, std::uint32_t channels,
                std::uint32_t ways, std::uint32_t qpairs,
                std::uint32_t threads)
@@ -141,17 +160,20 @@ runShardedNvme(const std::string &flavor, std::uint32_t channels,
     tcfg.lbaSpan = extent * hic.sectorsPerPage();
     host::nvme::TenantClient client(dev.hostQueue(), "fig12", fe, reg,
                                     tcfg);
+    auto &pm = obs::power::PowerModel::instance();
     const Tick start = dev.hostQueue().now();
+    const std::uint64_t e0 = pm.grandTotalFjAt(start);
     bool done = false;
     client.start([&] { done = true; });
     dev.run(threads);
     babol_assert(done && client.errors() == 0, "nvme fio run failed");
     const Tick elapsed = dev.hostQueue().now() - start;
+    const std::uint64_t e1 = pm.grandTotalFjAt(dev.hostQueue().now());
     const std::uint64_t bytes = 300ull * tcfg.sectors * hic.sectorBytes();
-    return bandwidthMBps(bytes, elapsed);
+    return {bandwidthMBps(bytes, elapsed), njPerIoDelta(e0, e1, 300)};
 }
 
-double
+RunResult
 runShardedSsd(const std::string &flavor, std::uint32_t channels,
               std::uint32_t ways, bool random_pattern,
               std::uint32_t threads)
@@ -191,11 +213,14 @@ runShardedSsd(const std::string &flavor, std::uint32_t channels,
     cfg_io.dramBase = 8 << 20;
     cfg_io.seed = 99;
     host::FioEngine engine(dev.hostQueue(), "fio", ftl, cfg_io);
+    auto &pm = obs::power::PowerModel::instance();
+    const std::uint64_t e0 = pm.grandTotalFjAt(dev.hostQueue().now());
     bool done = false;
     engine.start([&] { done = true; });
     dev.run(threads);
     babol_assert(done && engine.errors() == 0, "fio run failed");
-    return engine.bandwidthMBps();
+    const std::uint64_t e1 = pm.grandTotalFjAt(dev.hostQueue().now());
+    return {engine.bandwidthMBps(), njPerIoDelta(e0, e1, 300)};
 }
 
 } // namespace
@@ -221,6 +246,11 @@ main(int argc, char **argv)
     }
     obs_opts.applyStartup();
 
+    // Energy accounting is part of this figure's output (J/IO per
+    // flavour), so the power model is always on here. Enabled before
+    // any device is built — meters latch the flag at construction.
+    obs::power::PowerModel::instance().enable();
+
     if (qpairs > 0) {
         // Queued-front-end mode (implies the sharded engine): random
         // READ through N NVMe-style queue pairs vs the direct path.
@@ -231,14 +261,16 @@ main(int argc, char **argv)
         std::cout << "FIGURE 12 (NVMe front end, " << qpairs
                   << " queue pair(s)): " << channels << "-channel x "
                   << ways << "-way random READ bandwidth (MB/s)\n\n";
-        Table table({"Controller", "direct", "queued"});
+        Table table({"Controller", "direct", "queued", "nJ/IO (queued)"});
         for (std::string flavor : {"hw", "rtos", "coro"}) {
+            RunResult direct =
+                runShardedSsd(flavor, channels, ways, true, threads);
+            RunResult queued =
+                runShardedNvme(flavor, channels, ways, qpairs, threads);
             table.addRow(
                 {flavor == "hw" ? "Cosmos+ baseline (hw)" : flavor,
-                 Table::num(runShardedSsd(flavor, channels, ways, true,
-                                          threads), 1),
-                 Table::num(runShardedNvme(flavor, channels, ways,
-                                           qpairs, threads), 1)});
+                 Table::num(direct.mbps, 1), Table::num(queued.mbps, 1),
+                 Table::num(queued.njPerIo, 1)});
         }
         if (csv)
             table.printCsv(std::cout);
@@ -255,14 +287,17 @@ main(int argc, char **argv)
         std::cout << "FIGURE 12 (sharded engine): " << channels
                   << "-channel x " << ways << "-way READ bandwidth "
                   << "(MB/s)\n\n";
-        Table table({"Controller", "sequential", "random"});
+        Table table({"Controller", "sequential", "random",
+                     "nJ/IO (rand)"});
         for (std::string flavor : {"hw", "rtos", "coro"}) {
+            RunResult seq =
+                runShardedSsd(flavor, channels, ways, false, threads);
+            RunResult rnd =
+                runShardedSsd(flavor, channels, ways, true, threads);
             table.addRow(
                 {flavor == "hw" ? "Cosmos+ baseline (hw)" : flavor,
-                 Table::num(runShardedSsd(flavor, channels, ways, false,
-                                          threads), 1),
-                 Table::num(runShardedSsd(flavor, channels, ways, true,
-                                          threads), 1)});
+                 Table::num(seq.mbps, 1), Table::num(rnd.mbps, 1),
+                 Table::num(rnd.njPerIo, 1)});
         }
         if (csv)
             table.printCsv(std::cout);
@@ -288,25 +323,30 @@ main(int argc, char **argv)
             headers.push_back(strfmt("%u way%s", ways,
                                      ways == 1 ? "" : "s"));
         headers.push_back("gap @max ways");
+        headers.push_back("nJ/IO @max ways");
         Table table(std::move(headers));
 
         std::vector<double> baseline;
         for (std::string flavor : {"hw", "rtos", "coro"}) {
             std::vector<std::string> row = {
                 flavor == "hw" ? "Cosmos+ baseline (hw)" : flavor};
-            std::vector<double> series;
+            std::vector<RunResult> series;
             for (std::uint32_t ways : ways_list)
                 series.push_back(runSsd(flavor, ways, random_pattern));
-            for (double mbps : series)
-                row.push_back(Table::num(mbps, 1));
+            for (const RunResult &r : series)
+                row.push_back(Table::num(r.mbps, 1));
             if (flavor == "hw") {
-                baseline = series;
+                baseline.clear();
+                for (const RunResult &r : series)
+                    baseline.push_back(r.mbps);
                 row.push_back("-");
             } else {
-                double gap = 100.0 * (baseline.back() - series.back()) /
-                             baseline.back();
+                double gap =
+                    100.0 * (baseline.back() - series.back().mbps) /
+                    baseline.back();
                 row.push_back(strfmt("-%.1f%%", gap));
             }
+            row.push_back(Table::num(series.back().njPerIo, 1));
             table.addRow(std::move(row));
         }
         if (csv)

@@ -14,8 +14,9 @@
  *   - "kernel": the pooled / inline-callback / timing-wheel EventQueue;
  *   - "kernel+obs(off)": the same kernel with the observability hot
  *     path compiled in but recording disabled — per event it takes the
- *     span begin/end guards an instrumented component takes, measuring
- *     the tax tracing imposes when it is not in use (CI guards this
+ *     span begin/end guards an instrumented component takes plus one
+ *     disabled power-meter charge, measuring the tax tracing and power
+ *     accounting impose when they are not in use (CI guards this
  *     against the plain kernel).
  *
  * Every phase runs three times, INTERLEAVED round-robin (seed, kernel,
@@ -50,12 +51,15 @@
 #include <iostream>
 #include <memory>
 #include <new>
+#include <optional>
 #include <queue>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_common.hh"
 #include "obs/hub.hh"
+#include "obs/power/power.hh"
 #include "sim/event_queue.hh"
 #include "sim/parallel.hh"
 
@@ -205,6 +209,10 @@ struct Driver
             // Interned up front, as components do in their ctors.
             track_ = babol::obs::interner().intern("bench");
             label_ = babol::obs::interner().intern("op.step");
+            // A meter against the (disabled) process power model, the
+            // way every timed component owns one.
+            meter_.emplace(nullptr, eq_, "bench.lun",
+                           std::initializer_list<const char *>{"busy"}, 1);
         }
     }
 
@@ -231,6 +239,10 @@ struct Driver
                                     static_cast<std::uint64_t>(i));
             }
             tr.endSpan(span, eq_.now());
+            // ... and the one-state-ended power charge: with the model
+            // disabled this is the latched-bool early return, which is
+            // exactly the tax the <3% overhead guard must cover.
+            meter_->charge(0, eq_.now(), eq_.now() + 1000, 80);
         }
         const std::uint64_t s = steps_++;
         const Tick d = kDelays[(s + static_cast<std::uint64_t>(i)) & 7];
@@ -252,6 +264,7 @@ struct Driver
 
     Queue &eq_;
     std::vector<Handle> timeouts_;
+    std::optional<babol::obs::power::Meter> meter_; //!< WithObs only
     std::uint64_t fired_ = 0;
     std::uint64_t steps_ = 0;
     std::uint32_t track_ = 0;
@@ -359,6 +372,46 @@ runSharded(std::uint32_t shards, std::uint32_t threads, Tick until)
     return pt;
 }
 
+// ---------------------------------------------------------------------
+// J/IO reference point: a compact single-channel read workload per
+// controller flavour with the power model enabled, recorded alongside
+// the perf figures so the energy trajectory is tracked across PRs (the
+// CI guard reads the perf keys only; these fields are informational).
+// ---------------------------------------------------------------------
+
+double
+runJPerIo(const std::string &flavor)
+{
+    using namespace babol;
+    auto &pm = obs::power::PowerModel::instance();
+    EventQueue eq;
+    bench::ChannelConfig cfg;
+    cfg.chips = 4;
+    bench::ChannelSystem sys(eq, "pwr", cfg);
+    auto ctrl = bench::makeController(flavor, eq, sys);
+    bench::preconditionChannel(eq, sys, *ctrl, 8);
+
+    const std::uint32_t luns = sys.chipCount();
+    const std::uint64_t total = 200;
+    const std::uint64_t e0 = pm.grandTotalFjAt(eq.now());
+    std::uint64_t completed = 0;
+    for (std::uint64_t i = 0; i < total; ++i) {
+        bench::FlashRequest read;
+        read.kind = bench::FlashOpKind::Read;
+        read.chip = static_cast<std::uint32_t>(i % luns);
+        read.row = {0, 0, static_cast<std::uint32_t>((i / luns) % 8)};
+        read.dramAddr = (1 << 20) + static_cast<std::uint64_t>(read.chip) *
+                                        sys.pageDataBytes();
+        read.onComplete = [&](bench::OpResult) { ++completed; };
+        ctrl->submit(std::move(read));
+    }
+    eq.run();
+    babol_assert(completed == total, "J/IO workload lost operations");
+    const std::uint64_t e1 = pm.grandTotalFjAt(eq.now());
+    // fJ -> J.
+    return static_cast<double>(e1 - e0) / static_cast<double>(total) / 1e15;
+}
+
 } // namespace
 
 int
@@ -426,6 +479,14 @@ main(int argc, char **argv)
     const double base =
         curve.front().eventsPerSec > 0 ? curve.front().eventsPerSec : 1;
 
+    // Energy reference points, AFTER every perf phase: meters latch the
+    // model's enabled flag at construction, so enabling here leaves all
+    // the timed phases above on the disabled hot path.
+    babol::obs::power::PowerModel::instance().enable();
+    const double jPerIoHw = runJPerIo("hw");
+    const double jPerIoRtos = runJPerIo("rtos");
+    const double jPerIoCoro = runJPerIo("coro");
+
     std::string json;
     char buf[1024];
     auto emit = [&](const char *fmt, auto... args) {
@@ -470,6 +531,10 @@ main(int argc, char **argv)
          static_cast<unsigned long long>(stats.readyInserts));
     emit("  \"compactions\": %llu,\n",
          static_cast<unsigned long long>(stats.compactions));
+
+    emit("  \"j_per_io_hw\": %.6g,\n", jPerIoHw);
+    emit("  \"j_per_io_rtos\": %.6g,\n", jPerIoRtos);
+    emit("  \"j_per_io_coro\": %.6g,\n", jPerIoCoro);
 
     emit("  \"machine_cores\": %u,\n", cores);
     emit("  \"sharded_shards\": %u,\n", kShards);

@@ -19,6 +19,13 @@
  * enables the recovery machinery (read-retry budget on every flavour),
  * and prints the injection/recovery ledger at exit.
  *
+ * --power-out enables the power model and writes the per-rail energy
+ * summary JSON at exit; --power-cap MW additionally arms a per-channel
+ * rolling-window power-budget governor — when the trailing window
+ * exceeds the cap, request admission pauses for a forced idle period
+ * (throttle windows are summarized at exit, and each READ line gains a
+ * measured nJ/IO figure whenever the power model is on).
+ *
  * --fleet N switches to fleet mode: N fully independent mini-SSDs, each
  * running M random-read streams (--streams, default 1) after its fill,
  * spread over T OS threads (--threads, default 1). Every member gets a
@@ -59,6 +66,7 @@
 #include "obs/audit/auditor.hh"
 #include "obs/cli.hh"
 #include "obs/perfetto.hh"
+#include "obs/power/power.hh"
 #include "sim/fleet.hh"
 #include "ssd/sharded_ssd.hh"
 
@@ -509,6 +517,7 @@ main(int argc, char **argv)
     if (obs::trace().enabled())
         obs::trace().clear();
 
+    auto &pm = obs::power::PowerModel::instance();
     for (bool random_pattern : {false, true}) {
         host::FioConfig io;
         io.pattern = random_pattern ? host::FioConfig::Pattern::Random
@@ -518,6 +527,8 @@ main(int argc, char **argv)
         io.totalIos = 400;
         io.dramBase = 16 << 20;
         host::FioEngine engine(eq, "fio", ftl, io);
+        const std::uint64_t e0 =
+            pm.enabled() ? pm.grandTotalFjAt(eq.now()) : 0;
         bool done = false;
         engine.start([&] { done = true; });
         eq.run();
@@ -525,12 +536,18 @@ main(int argc, char **argv)
             fatal("fio run failed");
 
         std::printf("%-10s READ: %7.1f MB/s  %8.0f IOPS   lat p50/p95/"
-                    "p99 = %.0f/%.0f/%.0f us\n",
+                    "p99 = %.0f/%.0f/%.0f us",
                     random_pattern ? "random" : "sequential",
                     engine.bandwidthMBps(), engine.iops(),
                     engine.latencyUs().percentile(50),
                     engine.latencyUs().percentile(95),
                     engine.latencyUs().percentile(99));
+        if (pm.enabled()) {
+            const std::uint64_t e1 = pm.grandTotalFjAt(eq.now());
+            std::printf("   %.1f nJ/IO",
+                        static_cast<double>(e1 - e0) / 400 / 1e6);
+        }
+        std::printf("\n");
     }
 
     if (fault::engine().armed())

@@ -16,10 +16,10 @@
 #   --asan-only    configure/build/ctest with ASan + UBSan
 #   --tsan-only    configure/build/ctest with TSan + the sharded fig12
 #                  workload on 4 threads
-#   --audit-only   BABOL_AUDIT=1 sanitizer sweep + fault campaigns on
-#                  every controller flavour, plus the sharded engine at
-#                  1/2/4 threads (requires a prior plain build; runs one
-#                  if build/ is missing)
+#   --audit-only   BABOL_AUDIT=1 sanitizer sweep + fault campaigns and
+#                  power-capped runs on every controller flavour, plus
+#                  the sharded engine at 1/2/4 threads (requires a prior
+#                  plain build; runs one if build/ is missing)
 #   --guard-only   bench-regression + tracing-overhead guards and the
 #                  determinism smokes: fig12 --threads 1/2/4 must print
 #                  byte-identical tables, and the multi-tenant SLO JSON
@@ -100,6 +100,20 @@ stage_audit() {
     BABOL_AUDIT=1 "$ROOT/build/examples/ssd_fio" coro --qpairs 2 \
         --replay "$ROOT/examples/trace_sample.txt" --threads 4 \
         | tail -3
+
+    # Power-accounting smoke: run every flavour with the sanitizer armed
+    # and a power cap low enough to open throttle windows. The auditor's
+    # Power rule checks energy conservation at finish, and the
+    # throttle-admission tripwire panics if a request slips past the
+    # governor's gate during a forced idle window.
+    echo "=== tier-1: power-audit smoke (cap + conservation) ==="
+    mkdir -p "$ROOT/build/audit-reports"
+    local pf
+    for pf in coro rtos hw; do
+        BABOL_AUDIT=1 "$ROOT/build/examples/ssd_fio" "$pf" \
+            --power-cap 100 --audit="$ROOT/build/audit-reports/power_${pf}.txt" \
+            | tail -2
+    done
 
     echo "=== tier-1: fault campaigns (every flavour, audit-clean) ==="
     mkdir -p "$ROOT/build/audit-reports"
@@ -183,6 +197,20 @@ stage_guard() {
         exit 1
     }
     echo "    identical tables at 1, 2, and 4 threads"
+
+    # Power determinism smoke: per-rail energy is integer femtojoules
+    # (order-independent sums), so the power summary must be
+    # byte-identical no matter how many worker threads ran the device.
+    echo "=== tier-1: power determinism smoke (--threads 1/4) ==="
+    "$ROOT/build/examples/ssd_fio" coro --power-out "$ROOT/build/power_t1.json" \
+        --threads 1 >/dev/null
+    "$ROOT/build/examples/ssd_fio" coro --power-out "$ROOT/build/power_t4.json" \
+        --threads 4 >/dev/null
+    cmp "$ROOT/build/power_t1.json" "$ROOT/build/power_t4.json" || {
+        echo "FAIL: power summary differs between 1 and 4 threads"
+        exit 1
+    }
+    echo "    identical power summaries at 1 and 4 threads"
 
     # Multi-tenant determinism smoke: the per-tenant SLO report is a
     # pure function of the model too — two runs at different thread

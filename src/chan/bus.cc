@@ -8,8 +8,11 @@ namespace babol::chan {
 
 ChannelBus::ChannelBus(EventQueue &eq, const std::string &name,
                        const nand::TimingParams &timing,
-                       std::uint32_t rate_mt)
-    : SimObject(eq, name), phy_(timing, rate_mt), trace_(name)
+                       std::uint32_t rate_mt,
+                       obs::power::PowerModel *power)
+    : SimObject(eq, name), phy_(timing, rate_mt), trace_(name),
+      power_(power, eq, name, {"cmd", "xfer"},
+             obs::power::modelOf(power).params().busIdleMw)
 {}
 
 std::uint32_t
@@ -120,6 +123,8 @@ ChannelBus::issue(Segment seg, std::function<void(SegmentResult)> done)
 
     const Tick start = curTick();
     Tick offset = phy_.ceSetup();
+    Tick latchTicks = 0; //!< command + address latch cycles (power)
+    Tick burstTicks = 0; //!< data-burst occupancy (power)
     auto result = std::make_shared<SegmentResult>();
 
     obs::audit::SegmentView view;
@@ -157,6 +162,7 @@ ChannelBus::issue(Segment seg, std::function<void(SegmentResult)> done)
                     view.cycles.push_back(c);
                 }
                 offset += phy_.commandCycle();
+                latchTicks += phy_.commandCycle();
                 eq_.schedule(start + offset, [this, mask, cmd, ctx] {
                     obs::Hub::ScopedCtx scope(ctx);
                     for (nand::Package *pkg : selected(mask))
@@ -175,6 +181,7 @@ ChannelBus::issue(Segment seg, std::function<void(SegmentResult)> done)
                     view.cycles.push_back(c);
                 }
                 offset += phy_.addressCycle();
+                latchTicks += phy_.addressCycle();
                 eq_.schedule(start + offset, [this, mask, byte, ctx] {
                     obs::Hub::ScopedCtx scope(ctx);
                     for (nand::Package *pkg : selected(mask))
@@ -186,6 +193,7 @@ ChannelBus::issue(Segment seg, std::function<void(SegmentResult)> done)
             const Tick burst_start = start + offset;
             const Tick dur = phy_.dataBurst(item.out.size());
             offset += dur;
+            burstTicks += dur;
             dataBytesIn_ += item.out.size();
             if (auditing) {
                 obs::audit::CycleView c;
@@ -212,6 +220,7 @@ ChannelBus::issue(Segment seg, std::function<void(SegmentResult)> done)
             const Tick burst_start = start + offset;
             const Tick dur = phy_.dataBurst(item.inCount);
             offset += dur;
+            burstTicks += dur;
             dataBytesOut_ += item.inCount;
             if (auditing) {
                 obs::audit::CycleView c;
@@ -274,6 +283,21 @@ ChannelBus::issue(Segment seg, std::function<void(SegmentResult)> done)
     busyUntil_ = start + offset;
     busyTicks_ += offset;
     ++segmentsIssued_;
+
+    if (power_.enabled()) {
+        // Latch cycles and data bursts at the rate the PHY is actually
+        // driving; CE setup and quiet guard delays inside the segment
+        // are occupancy without switching activity, so they charge
+        // nothing beyond the cycles counted here.
+        const obs::power::PowerParams &p = power_.params();
+        const bool ddr = phy_.mode() == nand::DataInterface::Nvddr2;
+        const std::uint64_t cmdFj = latchTicks * p.busCmdMw;
+        const std::uint64_t xferFj =
+            burstTicks * p.busXferMw(ddr, phy_.rateMT());
+        power_.chargeEnergy(0, cmdFj);
+        power_.chargeEnergy(1, xferFj);
+        power_.noteActive(start, busyUntil_, cmdFj + xferFj);
+    }
 
     trace_.record(start, busyUntil_, seg.ceMask, seg.label, seg.ctx.span,
                   seg_span);

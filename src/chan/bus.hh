@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "nand/package.hh"
+#include "obs/power/power.hh"
 #include "phy.hh"
 #include "segment.hh"
 #include "sim/sim_object.hh"
@@ -29,9 +30,11 @@ class ChannelBus : public SimObject
     /**
      * @param rate_mt channel transfer rate in MT/s (100 or 200 in the
      *                paper's experiments)
+     * @param power   power model to charge (nullptr = process default)
      */
     ChannelBus(EventQueue &eq, const std::string &name,
-               const nand::TimingParams &timing, std::uint32_t rate_mt);
+               const nand::TimingParams &timing, std::uint32_t rate_mt,
+               obs::power::PowerModel *power = nullptr);
 
     /** Attach a package; its CE line is bit `index` of segment masks. */
     std::uint32_t attach(nand::Package *pkg);
@@ -82,6 +85,9 @@ class ChannelBus : public SimObject
     std::uint64_t dataBytesOut() const { return dataBytesOut_; }
     Tick busyTicks() const { return busyTicks_; }
 
+    /** The channel's I/O power rail (cmd/addr cycles + data bursts). */
+    obs::power::Meter &powerMeter() { return power_; }
+
   private:
     void checkModeMatch(std::uint32_t ce_mask) const;
     std::vector<nand::Package *> selected(std::uint32_t ce_mask) const;
@@ -97,6 +103,8 @@ class ChannelBus : public SimObject
     std::uint64_t segmentsIssued_ = 0;
     std::uint64_t dataBytesIn_ = 0;
     std::uint64_t dataBytesOut_ = 0;
+
+    obs::power::Meter power_;
 };
 
 } // namespace babol::chan

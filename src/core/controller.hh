@@ -8,9 +8,14 @@
 #ifndef BABOL_CORE_CONTROLLER_HH
 #define BABOL_CORE_CONTROLLER_HH
 
+#include <deque>
+#include <memory>
+
 #include "channel_system.hh"
 #include "flash_backend.hh"
+#include "obs/audit/auditor.hh"
 #include "obs/hub.hh"
+#include "obs/power/power.hh"
 #include "op_request.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
@@ -57,15 +62,61 @@ class ChannelController : public SimObject, public FlashBackend
         // runs at most one op per chip at a time).
         sys_.exec().setCtxResolver(
             [this](std::uint32_t chip) { return opCtx(chip); });
+
+        // With a power cap configured, this channel gets a governor fed
+        // by its bus and LUN rails (the channel-local meters, so shards
+        // stay independent); submit() holds requests back while it
+        // throttles.
+        auto &pm = obs::power::modelOf(sys.config().package.power);
+        if (pm.enabled() && pm.governorConfig().capMw > 0) {
+            gov_ = std::make_unique<obs::power::PowerGovernor>(
+                eq, name + ".gov", pm);
+            gov_->setOnRelease([this] { drainDeferred(); });
+            governMeter(sys_.bus().powerMeter());
+            for (std::uint32_t c = 0; c < sys_.bus().packageCount(); ++c) {
+                nand::Package &pkg = sys_.bus().package(c);
+                for (std::uint32_t l = 0; l < pkg.lunCount(); ++l)
+                    governMeter(pkg.lun(l).powerMeter());
+            }
+        }
     }
 
-    ~ChannelController() override { sys_.exec().setCtxResolver(nullptr); }
+    ~ChannelController() override
+    {
+        // The meters belong to the channel system and outlive this
+        // controller (and its governor) — detach before gov_ dies.
+        for (obs::power::Meter *m : governed_)
+            m->setGovernor(nullptr);
+        sys_.exec().setCtxResolver(nullptr);
+    }
 
     /** "coroutine", "rtos", "hw-sync", or "hw-async". */
     virtual const char *flavorName() const = 0;
 
-    /** Accept one flash operation request from the FTL. */
-    void submit(FlashRequest req) override = 0;
+    /**
+     * Accept one flash operation request from the FTL. This is the
+     * power-budget gate: while the channel's governor holds a forced
+     * idle window open, requests queue here and drain on release.
+     * The submit tick is stamped on arrival, so throttle delay shows
+     * up in op latency like any other queueing.
+     */
+    void
+    submit(FlashRequest req) final
+    {
+        if (req.submitTick == 0)
+            req.submitTick = curTick();
+        if (gov_ && gov_->throttled(curTick())) {
+            deferred_.push_back(std::move(req));
+            return;
+        }
+        submitNow(std::move(req));
+    }
+
+    /** This channel's power governor (nullptr when no cap is set). */
+    obs::power::PowerGovernor *governor() { return gov_.get(); }
+
+    /** Requests currently held back by the governor. */
+    std::size_t deferredCount() const { return deferred_.size(); }
 
     ChannelSystem &system() { return sys_; }
 
@@ -103,19 +154,60 @@ class ChannelController : public SimObject, public FlashBackend
 
   protected:
     /**
-     * Stamp the submit tick and open the op span; every flavour calls
-     * this first thing in submit(). The submitter's context (if any)
-     * becomes the op span's parent.
+     * The flavour's actual admission path; called by submit() once the
+     * request clears the power gate. Flavours implement this instead of
+     * overriding submit().
+     */
+    virtual void submitNow(FlashRequest req) = 0;
+
+    /**
+     * Open the op span; every flavour calls this first thing in
+     * submitNow(). The submit tick was already stamped at the gate
+     * (kept if set, so throttle delay counts toward latency); the
+     * submitter's context (if any) becomes the op span's parent.
      */
     void
     acceptRequest(FlashRequest &req)
     {
-        req.submitTick = curTick();
+        if (req.submitTick == 0)
+            req.submitTick = curTick();
+        auto &aud = obs::audit::auditor();
+        if (aud.armed() && gov_ && gov_->throttled(curTick())) {
+            // submit() defers while throttled, so reaching here mid-
+            // window means some path bypassed the gate.
+            aud.report(obs::audit::Check::Power,
+                       "power.throttle-admission", name(), curTick(),
+                       strfmt("request admitted during a forced idle "
+                              "window (chip %u, %s)",
+                              req.chip, toString(req.kind)));
+        }
         auto &tr = obs::trace();
         if (tr.enabled()) {
             req.ctx.span = tr.beginSpan(
                 obsTrack_, opLabel_[static_cast<int>(req.kind)],
                 curTick(), req.ctx.span, req.chip);
+        }
+    }
+
+    /** Route a meter's charges into this channel's governor. */
+    void
+    governMeter(obs::power::Meter &m)
+    {
+        if (!gov_)
+            return;
+        m.setGovernor(gov_.get());
+        governed_.push_back(&m);
+    }
+
+    /** Governor release: re-admit held requests in arrival order. */
+    void
+    drainDeferred()
+    {
+        while (!deferred_.empty() &&
+               !(gov_ && gov_->throttled(curTick()))) {
+            FlashRequest req = std::move(deferred_.front());
+            deferred_.pop_front();
+            submitNow(std::move(req));
         }
     }
 
@@ -177,6 +269,10 @@ class ChannelController : public SimObject, public FlashBackend
     std::uint32_t obsTrack_;
     std::uint32_t opLabel_[kOpKinds] = {};
     std::vector<obs::SpanId> chipSpan_;
+
+    std::unique_ptr<obs::power::PowerGovernor> gov_;
+    std::vector<obs::power::Meter *> governed_;
+    std::deque<FlashRequest> deferred_;
 
     /** Last member: deregisters before the stats it references die. */
     obs::MetricsGroup metrics_;

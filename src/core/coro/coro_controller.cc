@@ -7,16 +7,18 @@ CoroController::CoroController(EventQueue &eq, const std::string &name,
                                SoftControllerConfig cfg)
     : ChannelController(eq, name, sys),
       cfg_(cfg),
-      cpu_(eq, name + ".cpu", cfg.cpuMhz),
+      cpu_(eq, name + ".cpu", cfg.cpuMhz, sys.config().package.power),
       rt_(eq, name + ".rt", cpu_, sys.exec(),
           makeTxnScheduler(cfg.txnPolicy), SoftwareCosts::coroutine()),
       tasks_(makeTaskScheduler(cfg.taskPolicy)),
       env_{rt_, sys},
       chipBusy_(sys.chipCount(), false)
-{}
+{
+    governMeter(cpu_.powerMeter());
+}
 
 void
-CoroController::submit(FlashRequest req)
+CoroController::submitNow(FlashRequest req)
 {
     acceptRequest(req);
     babol_assert(req.chip < chipBusy_.size(), "chip %u out of range",

@@ -28,7 +28,6 @@ class CoroController : public ChannelController
                    ChannelSystem &sys, SoftControllerConfig cfg = {});
 
     const char *flavorName() const override { return "coroutine"; }
-    void submit(FlashRequest req) override;
 
     cpu::CpuModel &cpu() { return cpu_; }
     CoroRuntime &runtime() { return rt_; }
@@ -36,6 +35,9 @@ class CoroController : public ChannelController
 
     /** Operations currently admitted (one per busy chip at most). */
     std::size_t liveOps() const { return live_.size(); }
+
+  protected:
+    void submitNow(FlashRequest req) override;
 
   private:
     struct Live

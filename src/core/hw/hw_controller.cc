@@ -20,7 +20,7 @@ HwController::HwController(EventQueue &eq, const std::string &name,
 HwController::~HwController() = default;
 
 void
-HwController::submit(FlashRequest req)
+HwController::submitNow(FlashRequest req)
 {
     acceptRequest(req);
     babol_assert(req.chip < pending_.size(), "chip %u out of range",

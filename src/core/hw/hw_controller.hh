@@ -48,8 +48,6 @@ class HwController : public ChannelController
         return synchronous_ ? "hw-sync" : "hw-async";
     }
 
-    void submit(FlashRequest req) override;
-
     bool synchronous() const { return synchronous_; }
 
     /** R/B#-to-controller synchronizer delay. */
@@ -74,6 +72,9 @@ class HwController : public ChannelController
 
     /** An operation FSM finished; frees the chip and reports upstream. */
     void fsmDone(std::uint32_t chip, OpResult result);
+
+  protected:
+    void submitNow(FlashRequest req) override;
 
   private:
     void tryStart(std::uint32_t chip);

@@ -7,16 +7,18 @@ RtosController::RtosController(EventQueue &eq, const std::string &name,
                                SoftControllerConfig cfg)
     : ChannelController(eq, name, sys),
       cfg_(cfg),
-      cpu_(eq, name + ".cpu", cfg.cpuMhz),
+      cpu_(eq, name + ".cpu", cfg.cpuMhz, sys.config().package.power),
       kernel_(eq, name + ".kernel", cpu_),
       rt_(eq, name + ".rt", cpu_, sys.exec(),
           makeTxnScheduler(cfg.txnPolicy), SoftwareCosts::rtos()),
       tasks_(makeTaskScheduler(cfg.taskPolicy)),
       chipBusy_(sys.chipCount(), false)
-{}
+{
+    governMeter(cpu_.powerMeter());
+}
 
 void
-RtosController::submit(FlashRequest req)
+RtosController::submitNow(FlashRequest req)
 {
     acceptRequest(req);
     babol_assert(req.chip < chipBusy_.size(), "chip %u out of range",

@@ -28,7 +28,6 @@ class RtosController : public ChannelController
                    ChannelSystem &sys, SoftControllerConfig cfg = {});
 
     const char *flavorName() const override { return "rtos"; }
-    void submit(FlashRequest req) override;
 
     cpu::CpuModel &cpu() { return cpu_; }
     cpu::RtosKernel &kernel() { return kernel_; }
@@ -41,6 +40,9 @@ class RtosController : public ChannelController
     std::uint32_t maxReadRetries() const { return cfg_.maxReadRetries; }
 
     std::size_t liveOps() const { return live_.size(); }
+
+  protected:
+    void submitNow(FlashRequest req) override;
 
   private:
     void kickAdmit();

@@ -24,6 +24,7 @@
 #include <deque>
 #include <functional>
 
+#include "obs/power/power.hh"
 #include "sim/sim_object.hh"
 
 namespace babol::cpu {
@@ -36,8 +37,16 @@ enum class CpuPriority : std::uint8_t {
 class CpuModel : public SimObject
 {
   public:
-    CpuModel(EventQueue &eq, const std::string &name, std::uint32_t mhz)
-        : SimObject(eq, name), mhz_(mhz)
+    CpuModel(EventQueue &eq, const std::string &name, std::uint32_t mhz,
+             obs::power::PowerModel *power = nullptr)
+        : SimObject(eq, name), mhz_(mhz),
+          power_(power, eq, name, {"busy"},
+                 static_cast<std::uint64_t>(mhz) *
+                     obs::power::modelOf(power).params().cpuIdleUwPerMhz /
+                     1000),
+          activeMw_(static_cast<std::uint64_t>(mhz) *
+                    obs::power::modelOf(power).params().cpuActiveUwPerMhz /
+                    1000)
     {
         babol_assert(mhz > 0, "CPU frequency must be positive");
     }
@@ -81,6 +90,9 @@ class CpuModel : public SimObject
     std::uint64_t totalCycles() const { return totalCycles_; }
     std::uint64_t workItems() const { return workItems_; }
 
+    /** The core's power rail (active cycles + clock-gated idle). */
+    obs::power::Meter &powerMeter() { return power_; }
+
   private:
     struct Item
     {
@@ -103,6 +115,7 @@ class CpuModel : public SimObject
         running_ = true;
         Tick dur = cyclesToTicks(item.cycles);
         busyTicks_ += dur;
+        power_.charge(0, curTick(), curTick() + dur, activeMw_);
         eq_.scheduleIn(dur, [this, fn = std::move(item.fn)] {
             running_ = false;
             fn();
@@ -111,6 +124,8 @@ class CpuModel : public SimObject
     }
 
     std::uint32_t mhz_;
+    obs::power::Meter power_;
+    std::uint64_t activeMw_;
     bool running_ = false;
     std::deque<Item> highQueue_;
     std::deque<Item> normalQueue_;

@@ -6,11 +6,14 @@ namespace babol::dram {
 
 DramBuffer::DramBuffer(EventQueue &eq, const std::string &name,
                        std::uint64_t bytes, double bandwidth_mbps,
-                       Tick setup_latency)
+                       Tick setup_latency,
+                       obs::power::PowerModel *power)
     : SimObject(eq, name),
       mem_(bytes, 0),
       bandwidthMBps_(bandwidth_mbps),
-      setupLatency_(setup_latency)
+      setupLatency_(setup_latency),
+      power_(power, eq, name, {"rd", "wr"},
+             obs::power::modelOf(power).params().dramStandbyMw)
 {}
 
 void
@@ -23,20 +26,36 @@ DramBuffer::checkRange(std::uint64_t addr, std::uint64_t len) const
 }
 
 void
-DramBuffer::write(std::uint64_t addr, std::span<const std::uint8_t> data)
+DramBuffer::write(std::uint64_t addr, std::span<const std::uint8_t> data,
+                  Tick at)
 {
     checkRange(addr, data.size());
     std::copy(data.begin(), data.end(), mem_.begin() + addr);
     bytesWritten_.fetch_add(data.size(), std::memory_order_relaxed);
+    if (power_.enabled()) {
+        const Tick t0 = at == kOwnClock ? curTick() : at;
+        const std::uint64_t fj = data.size() *
+            power_.params().dramPjPerByte * 1000;
+        power_.chargeEnergy(1, fj);
+        power_.noteActive(t0, t0 + transferTime(data.size()), fj);
+    }
 }
 
 void
-DramBuffer::read(std::uint64_t addr, std::span<std::uint8_t> out) const
+DramBuffer::read(std::uint64_t addr, std::span<std::uint8_t> out,
+                 Tick at) const
 {
     checkRange(addr, out.size());
     std::copy(mem_.begin() + addr, mem_.begin() + addr + out.size(),
               out.begin());
     bytesRead_.fetch_add(out.size(), std::memory_order_relaxed);
+    if (power_.enabled()) {
+        const Tick t0 = at == kOwnClock ? curTick() : at;
+        const std::uint64_t fj = out.size() *
+            power_.params().dramPjPerByte * 1000;
+        power_.chargeEnergy(0, fj);
+        power_.noteActive(t0, t0 + transferTime(out.size()), fj);
+    }
 }
 
 Tick

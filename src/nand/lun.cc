@@ -47,6 +47,8 @@ Lun::Lun(EventQueue &eq, const std::string &name, const PackageConfig &cfg,
       array_(cfg.geometry, seed),
       rng_(seed ^ 0x9e3779b97f4a7c15ULL),
       planes_(cfg.geometry.planesPerLun),
+      power_(cfg.power, eq, name, {"read", "program", "erase", "misc"},
+             obs::power::modelOf(cfg.power).params().lunIdleMw),
       metrics_(obs::metrics(), name)
 {
     obsTrack_ = obs::interner().intern(name);
@@ -210,6 +212,8 @@ Lun::commandLatch(std::uint8_t cmd)
         rdy_ = false;
         ardy_ = false;
         busyOp_ = ArrayOp::Reset;
+        opStart_ = curTick();
+        opParent_ = obs::currentCtx();
         busyUntil_ = curTick() + cfg_.timing.tRst;
         busyEvent_ = scheduleIn(cfg_.timing.tRst,
                                 [this] { completeArrayOp(); }, "lun reset");
@@ -808,6 +812,35 @@ Lun::startArrayOp(ArrayOp op, Tick duration, std::function<void()> done)
 }
 
 void
+Lun::chargeArray(ArrayOp op, Tick t0, Tick t1)
+{
+    if (!power_.enabled() || op == ArrayOp::None)
+        return;
+    const obs::power::PowerParams &p = power_.params();
+    std::size_t slot;
+    std::uint64_t mw;
+    switch (op) {
+      case ArrayOp::Read:
+        slot = 0;
+        mw = p.lunReadMw;
+        break;
+      case ArrayOp::Program:
+        slot = 1;
+        mw = p.lunProgramMw;
+        break;
+      case ArrayOp::Erase:
+        slot = 2;
+        mw = p.lunEraseMw;
+        break;
+      default:
+        slot = 3;
+        mw = p.lunMiscMw;
+        break;
+    }
+    power_.charge(slot, t0, t1, mw);
+}
+
+void
 Lun::completeArrayOp()
 {
     auto &tr = obs::trace();
@@ -816,6 +849,7 @@ Lun::completeArrayOp()
                     busyLabel_[static_cast<std::size_t>(busyOp_)],
                     opStart_, curTick(), opParent_);
     }
+    chargeArray(busyOp_, opStart_, curTick());
     rdy_ = true;
     ardy_ = true;
     busyOp_ = ArrayOp::None;
@@ -955,6 +989,10 @@ Lun::startCacheTurn(std::optional<RowAddress> next)
             cacheReadArmed_ = true;
             Tick tr = actualReadTime(*next);
             bgUntil_ = curTick() + tr;
+            // Background sensing: charged when scheduled (duration is
+            // already known) so a RESET that cancels the event never
+            // loses the energy the array actually spent starting it.
+            chargeArray(ArrayOp::Read, curTick(), bgUntil_);
             RowAddress row = *next;
             bgCompletion_ = [this, row] {
                 Plane &target = planes_[row.plane(cfg_.geometry)];
@@ -1058,6 +1096,7 @@ Lun::startProgram(bool cache_mode)
         }
         ardy_ = false;
         bgUntil_ = curTick() + prog_time;
+        chargeArray(ArrayOp::Program, curTick(), bgUntil_);
         bgCompletion_ = [this, row, data = std::move(data)] {
             if (faults().onProgram(name(), row.block, row.page,
                                           curTick())) {
@@ -1138,6 +1177,9 @@ Lun::handleSuspend()
     babol_assert(!suspended_, "nested suspend");
 
     busyEvent_.cancel();
+    // The portion of the op that already ran is charged now; the
+    // resumed remainder charges when it completes.
+    chargeArray(busyOp_, opStart_, curTick());
     suspendRemaining_ = busyUntil_ > curTick() ? busyUntil_ - curTick() : 0;
     suspendedOp_ = busyOp_;
     suspendedCompletion_ = std::move(completion_);

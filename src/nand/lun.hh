@@ -27,6 +27,7 @@
 #include "flash_array.hh"
 #include "geometry.hh"
 #include "obs/hub.hh"
+#include "obs/power/power.hh"
 #include "onfi.hh"
 #include "sim/sim_object.hh"
 #include "timing.hh"
@@ -125,6 +126,9 @@ class Lun : public SimObject
 
     /** What the array is busy with, if anything. */
     ArrayOp busyOp() const { return busyOp_; }
+
+    /** This LUN's power rail (inert unless the model was enabled). */
+    obs::power::Meter &powerMeter() { return power_; }
 
     /**
      * Simulation shortcut: place the LUN directly in a configured data
@@ -323,6 +327,12 @@ class Lun : public SimObject
     std::array<std::uint32_t, 8> busyLabel_{}; //!< per-ArrayOp label id
     obs::SpanId opParent_ = obs::kNoSpan;
     Tick opStart_ = 0;
+
+    /** Deposit array-state energy for a busy window. */
+    void chargeArray(ArrayOp op, Tick t0, Tick t1);
+
+    /** Per-state energy rail (read/program/erase/misc + standby). */
+    obs::power::Meter power_;
 
     /** Last member: deregisters before the stats it references die. */
     obs::MetricsGroup metrics_;

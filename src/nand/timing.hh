@@ -23,6 +23,10 @@ namespace babol::fault {
 class FaultEngine;
 } // namespace babol::fault
 
+namespace babol::obs::power {
+class PowerModel;
+} // namespace babol::obs::power
+
 namespace babol::nand {
 
 /**
@@ -112,6 +116,14 @@ struct PackageConfig
      * singleton behaviour.
      */
     fault::FaultEngine *faults = nullptr;
+
+    /**
+     * The power model every rail below this package charges, threaded
+     * like `faults` so the whole stack (LUNs, bus, DRAM, controller
+     * CPU) resolves one model with no new constructor plumbing.
+     * nullptr = the process default (obs::power::PowerModel::instance()).
+     */
+    obs::power::PowerModel *power = nullptr;
 };
 
 /** SK hynix preset: tR = 100 us (Table I), 8 LUNs per channel. */

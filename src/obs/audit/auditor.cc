@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "obs/hub.hh"
+#include "obs/power/power.hh"
 #include "onfi_rules.hh"
 #include "sim/logging.hh"
 
@@ -26,6 +27,8 @@ toString(Check c)
         return "channel";
       case Check::Conservation:
         return "conservation";
+      case Check::Power:
+        return "power";
     }
     return "?";
 }
@@ -186,6 +189,11 @@ Auditor::finish()
 {
     if (!armed_)
         return;
+
+    // Energy conservation does not depend on the trace ring, so it
+    // runs even when span accounting below has to bail out.
+    power::PowerModel::auditAll(*this);
+
     TraceRecorder &tr = obs::trace();
     if (tr.totalRecorded() == 0)
         return; // nothing was traced; nothing to account
@@ -259,6 +267,7 @@ Auditor::finish()
             break;
           }
           case RecKind::Instant:
+          case RecKind::Counter:
             break;
         }
     });
@@ -331,6 +340,12 @@ Auditor::flightDump() const
                          ticks::toUs(rec.t0), "",
                          in.label(rec.track).c_str(),
                          in.label(rec.label).c_str());
+            break;
+          case RecKind::Counter:
+            os << strfmt("  [%10.3f us %13s] %-12s = %llu\n",
+                         ticks::toUs(rec.t0), "",
+                         in.label(rec.label).c_str(),
+                         static_cast<unsigned long long>(rec.arg));
             break;
         }
     }

@@ -20,12 +20,13 @@
 
 namespace babol::obs::audit {
 
-/** The four check families of the conformance auditor. */
+/** The check families of the conformance auditor. */
 enum class Check : std::uint8_t {
     AcTiming,     //!< ONFI AC timing (tWB, tWHR, tRHW, tADL, tCCS, floors)
     LunProtocol,  //!< command legality and sequencing at the die
     Channel,      //!< bus invariants (double-drive, CE overlap, starvation)
     Conservation, //!< cross-layer span accounting
+    Power,        //!< energy conservation and throttle compliance
 };
 
 const char *toString(Check c);

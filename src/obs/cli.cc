@@ -5,9 +5,12 @@
 #include <fstream>
 #include <iostream>
 
+#include <cstdlib>
+
 #include "audit/auditor.hh"
 #include "hub.hh"
 #include "perfetto.hh"
+#include "power/power.hh"
 #include "sim/logging.hh"
 
 namespace babol::obs::cli {
@@ -15,7 +18,8 @@ namespace babol::obs::cli {
 const char *
 Options::usage()
 {
-    return "[--trace-out FILE] [--metrics-out FILE] [--audit[=FILE]]";
+    return "[--trace-out FILE] [--metrics-out FILE] [--audit[=FILE]] "
+           "[--power-out FILE] [--power-cap MW]";
 }
 
 bool
@@ -39,6 +43,16 @@ Options::parse(int argc, char **argv, int &i)
         auditOut = arg + 8;
         return true;
     }
+    if (!std::strcmp(arg, "--power-out") && i + 1 < argc) {
+        powerOut = argv[++i];
+        return true;
+    }
+    if (!std::strcmp(arg, "--power-cap") && i + 1 < argc) {
+        powerCapMw = std::strtoull(argv[++i], nullptr, 10);
+        if (powerCapMw == 0)
+            fatal("--power-cap needs a positive cap in mW");
+        return true;
+    }
     return false;
 }
 
@@ -47,6 +61,15 @@ Options::applyStartup() const
 {
     if (!traceOut.empty())
         trace().setEnabled(true);
+    if (!powerOut.empty() || powerCapMw > 0) {
+        auto &pm = power::PowerModel::instance();
+        pm.enable();
+        if (powerCapMw > 0) {
+            power::GovernorConfig g;
+            g.capMw = powerCapMw;
+            pm.setGovernorConfig(g);
+        }
+    }
     if (!audit)
         return;
     audit::Auditor::Config cfg;
@@ -61,6 +84,7 @@ Options::captureMetrics(const EventQueue &eq)
     MetricsGroup kernel(metrics(), "kernel");
     registerEventQueueMetrics(kernel, eq);
     snapshot_ = metrics().snapshot();
+    snapshot_->simTicks = eq.now();
 }
 
 int
@@ -85,6 +109,23 @@ Options::finalize() const
         else
             metrics().writeJson(out);
         std::printf("wrote metrics to %s\n", metricsOut.c_str());
+    }
+
+    if (!powerOut.empty()) {
+        std::ofstream out(powerOut);
+        if (!out)
+            fatal("cannot open %s", powerOut.c_str());
+        power::PowerModel::instance().writeJson(out);
+        std::printf("wrote power summary to %s\n", powerOut.c_str());
+    }
+    if (powerCapMw > 0) {
+        auto &pm = power::PowerModel::instance();
+        std::printf("power governor: cap %llu mW, %llu throttle "
+                    "window(s), %.1f us throttled\n",
+                    static_cast<unsigned long long>(powerCapMw),
+                    static_cast<unsigned long long>(
+                        pm.throttleWindowsTotal()),
+                    ticks::toUs(pm.throttledTicksTotal()));
     }
 
     auto &aud = audit::Auditor::instance();

@@ -12,6 +12,10 @@
  *                       the report goes to stdout (or FILE) at exit and
  *                       the process exits non-zero when any diagnostic
  *                       was recorded
+ *   --power-out FILE    enable the power model and dump the per-rail
+ *                       energy summary JSON at exit
+ *   --power-cap MW      enable the power model and arm a per-channel
+ *                       power-budget governor with the given cap
  *
  * Usage pattern:
  *
@@ -47,6 +51,8 @@ struct Options
     std::string metricsOut;
     std::string auditOut; //!< empty = stdout
     bool audit = false;
+    std::string powerOut;
+    std::uint64_t powerCapMw = 0; //!< 0 = no governor
 
     /** One-line flag summary for usage messages. */
     static const char *usage();

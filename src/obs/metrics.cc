@@ -170,6 +170,7 @@ MetricsRegistry::delta(const MetricsSnapshot &later,
                        const MetricsSnapshot &earlier)
 {
     MetricsSnapshot out;
+    out.simTicks = later.simTicks;
     out.scalars.reserve(later.scalars.size());
     for (const auto &s : later.scalars) {
         const auto *prev = earlier.findScalar(s.name);
@@ -190,7 +191,8 @@ MetricsRegistry::writeJson(std::ostream &os) const
 void
 MetricsRegistry::writeJson(std::ostream &os, const MetricsSnapshot &snap)
 {
-    os << "{\n  \"scalars\": {";
+    os << "{\n  \"sim_ticks\": " << snap.simTicks << ",\n";
+    os << "  \"scalars\": {";
     bool first = true;
     for (const auto &s : snap.scalars) {
         os << (first ? "\n    " : ",\n    ");

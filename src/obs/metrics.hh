@@ -46,6 +46,10 @@ struct MetricsSnapshot
         double p50 = 0, p95 = 0, p99 = 0, p999 = 0;
     };
 
+    /** Simulated time of the capture (0 when the capturer had no
+     *  queue in scope); emitted top-level as "sim_ticks". */
+    std::uint64_t simTicks = 0;
+
     std::vector<Scalar> scalars; //!< sorted by name
     std::vector<Dist> dists;     //!< sorted by name
 

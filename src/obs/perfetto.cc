@@ -82,7 +82,7 @@ writePerfettoJson(std::ostream &os, const TraceRecorder &rec)
     rec.forEach([&](std::uint64_t, const TraceRecord &r) {
         if (r.kind == RecKind::End)
             ends.emplace(r.span, r.t0);
-        else
+        else if (r.kind != RecKind::Counter) // counters name themselves
             tracks.insert(r.track);
     });
 
@@ -121,6 +121,17 @@ writePerfettoJson(std::ostream &os, const TraceRecorder &rec)
           case RecKind::Instant:
             ev.ph = "i";
             break;
+          case RecKind::Counter: {
+            // A counter track: same-named "C" samples form one rail.
+            os << (first ? "\n    " : ",\n    ");
+            first = false;
+            os << "{\"name\": ";
+            writeEscaped(os, in.label(r.label));
+            os << ", \"cat\": \"babol\", \"ph\": \"C\", \"ts\": ";
+            writeUs(os, r.t0);
+            os << ", \"pid\": 1, \"args\": {\"mW\": " << r.arg << "}}";
+            return;
+          }
         }
         writeEvent(os, in, ev, first);
     });

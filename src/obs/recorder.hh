@@ -28,6 +28,7 @@ enum class RecKind : std::uint8_t {
     Begin,    //!< span opened at t0 (End pairs by span id)
     End,      //!< span closed at t0
     Instant,  //!< point event at t0
+    Counter,  //!< counter-track sample at t0 (value in arg)
 };
 
 /** One fixed-size trace record (no owned memory). */
@@ -154,6 +155,27 @@ class TraceRecorder
         rec.span = nextSpanId();
         rec.parent = parent;
         rec.arg = arg;
+        rec.track = track;
+        rec.label = label;
+        push(rec);
+    }
+
+    /**
+     * One sample of a numeric timeline (a Perfetto counter track):
+     * the series named by @p label holds @p value from @p t onward.
+     * The power rails render through these.
+     */
+    void
+    counter(std::uint32_t track, std::uint32_t label, Tick t,
+            std::uint64_t value)
+    {
+        if (!enabled_)
+            return;
+        TraceRecord rec;
+        rec.kind = RecKind::Counter;
+        rec.t0 = t;
+        rec.t1 = t;
+        rec.arg = value;
         rec.track = track;
         rec.label = label;
         push(rec);

@@ -18,8 +18,9 @@ ShardedSsd::ShardedSsd(const std::string &name, SsdConfig cfg)
     babol_assert(cfg_.channels >= 1 && cfg_.channels <= 16,
                  "SSD supports 1..16 channels, got %u", cfg_.channels);
 
-    dram_ = std::make_unique<dram::DramBuffer>(hostQueue(), name + ".dram",
-                                               cfg_.dramBytes);
+    dram_ = std::make_unique<dram::DramBuffer>(
+        hostQueue(), name + ".dram", cfg_.dramBytes, 1600.0,
+        200 * ticks::perNs, cfg_.channel.package.power);
 
     for (std::uint32_t ch = 0; ch < cfg_.channels; ++ch) {
         EventQueue &ceq = engine_.queue(1 + ch);

@@ -19,8 +19,9 @@ Ssd::Ssd(EventQueue &eq, const std::string &name, SsdConfig cfg)
     }
     lookahead_ = interconnectLookahead(cfg_.channel.package.timing);
 
-    dram_ = std::make_unique<dram::DramBuffer>(eq, name + ".dram",
-                                               cfg_.dramBytes);
+    dram_ = std::make_unique<dram::DramBuffer>(
+        eq, name + ".dram", cfg_.dramBytes, 1600.0, 200 * ticks::perNs,
+        cfg_.channel.package.power);
 
     for (std::uint32_t ch = 0; ch < cfg_.channels; ++ch) {
         core::ChannelConfig ccfg = cfg_.channel;
