@@ -97,11 +97,18 @@ main()
     std::printf("\nBus trace of the READ (a la Fig. 9/11):\n%s",
                 sys.bus().trace().renderTimeline().c_str());
 
-    // 7. The same trace as a VCD, loadable in GTKWave.
+    // 7. The same trace as a VCD, loadable in GTKWave. Keep build
+    //    artifacts out of the source tree: land it under build/ when
+    //    running from the repo root, else next to the caller.
+    const char *vcd_path = "build/quickstart_read.vcd";
     {
-        std::ofstream vcd("quickstart_read.vcd");
+        std::ofstream vcd(vcd_path);
+        if (!vcd.is_open()) {
+            vcd_path = "quickstart_read.vcd";
+            vcd.open(vcd_path);
+        }
         sys.bus().trace().writeVcd(vcd, "ssd_chan0");
     }
-    std::printf("\nWaveform written to quickstart_read.vcd (GTKWave).\n");
+    std::printf("\nWaveform written to %s (GTKWave).\n", vcd_path);
     return 0;
 }

@@ -33,6 +33,19 @@
  * deterministic per-member seed, so results are byte-identical at any
  * T; the per-member report and the fleet aggregate prove it.
  *
+ * --crash-at N cuts power after the Nth acknowledged host write of a
+ * stamped-pattern workload, remounts a fresh controller stack over the
+ * surviving cells (OOB scan), and verifies the crash-consistency
+ * contract: every acknowledged write survives, no stale mapping
+ * resurrects. --crash-plan FILE runs one such crash/remount cycle per
+ * `fault powercut nth=K` line in the plan; --remount adds a
+ * clean-shutdown (flush) remount pass; --crash-out FILE appends one
+ * deterministic digest line per cycle so CI can cmp reruns.
+ * --lifetime-smoke drives a tiny device to its rated erase endurance
+ * under a skewed workload with static wear levelling on, and checks
+ * the wear spread stays bounded and the device survives the first
+ * erase-limit retirement.
+ *
  * --qpairs N switches to the NVMe-style queued front end: a sharded
  * multi-channel device reached through N submission/completion queue
  * pairs (DRAM rings + doorbells + interrupt coalescing) instead of
@@ -380,6 +393,539 @@ runNvme(const std::string &flavor, std::uint32_t qpairs,
     return obs_opts.finalize();
 }
 
+// ---------------------------------------------------------------------
+// Crash / remount campaign
+// ---------------------------------------------------------------------
+
+/** splitmix64 finalizer: the keyed byte-stream generator behind the
+ *  stamped data patterns. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/** Fill @p page with the deterministic pattern of (lpn, gen): a 16-byte
+ *  header (magic, lpn, gen) followed by a keyed stream, so a recovered
+ *  page proves exactly which write generation it holds. */
+void
+stampPattern(std::vector<std::uint8_t> &page, std::uint64_t lpn,
+             std::uint64_t gen)
+{
+    page[0] = 0xB0;
+    page[1] = 0xB0;
+    page[2] = 0x7E;
+    page[3] = 0x57;
+    for (int i = 0; i < 4; ++i)
+        page[4 + i] = static_cast<std::uint8_t>(lpn >> (8 * i));
+    for (int i = 0; i < 8; ++i)
+        page[8 + i] = static_cast<std::uint8_t>(gen >> (8 * i));
+    std::uint64_t s = mix64(lpn * 0x10001u + gen);
+    for (std::size_t off = 16; off < page.size(); off += 8) {
+        s = mix64(s);
+        for (std::size_t i = 0; i < 8 && off + i < page.size(); ++i)
+            page[off + i] = static_cast<std::uint8_t>(s >> (8 * i));
+    }
+}
+
+/** The header back out of a recovered page; false = no valid stamp. */
+bool
+readStamp(const std::vector<std::uint8_t> &page, std::uint64_t lpn,
+          std::uint64_t *gen)
+{
+    if (page[0] != 0xB0 || page[1] != 0xB0 || page[2] != 0x7E ||
+        page[3] != 0x57) {
+        return false;
+    }
+    std::uint64_t got_lpn = 0;
+    for (int i = 0; i < 4; ++i)
+        got_lpn |= static_cast<std::uint64_t>(page[4 + i]) << (8 * i);
+    if (got_lpn != lpn)
+        return false;
+    *gen = 0;
+    for (int i = 0; i < 8; ++i)
+        *gen |= static_cast<std::uint64_t>(page[8 + i]) << (8 * i);
+    return true;
+}
+
+/** One complete controller stack over a small crash-campaign device:
+ *  4 chips x 32 blocks x 8 pages, write buffer and static wear
+ *  levelling on so the campaign exercises both. */
+struct CrashWorld
+{
+    EventQueue eq;
+    ChannelSystem sys;
+    std::unique_ptr<ChannelController> ctrl;
+    ftl::PageFtl ftl;
+
+    explicit CrashWorld(const std::string &flavor)
+        : sys(eq, "ssd", channelCfg()),
+          ctrl(makeController(eq, flavor, sys, true)),
+          ftl(eq, "ftl", *ctrl, ftlCfg())
+    {
+    }
+
+    static ChannelConfig
+    channelCfg()
+    {
+        ChannelConfig cfg;
+        cfg.package = nand::hynixPackage();
+        cfg.package.geometry.pagesPerBlock = 8;
+        cfg.package.geometry.blocksPerPlane = 32;
+        cfg.chips = 4;
+        cfg.rateMT = 200;
+        return cfg;
+    }
+
+    static ftl::FtlConfig
+    ftlCfg()
+    {
+        ftl::FtlConfig cfg;
+        cfg.blocksPerChip = 8;
+        cfg.overprovision = 0.25;
+        cfg.writeBufferPages = 4;
+        cfg.writeBufferFlushUs = 200;
+        cfg.wearSpreadThreshold = 8;
+        return cfg;
+    }
+};
+
+constexpr std::uint64_t kCrashHostBase = 16 << 20;
+constexpr std::uint32_t kCrashQd = 8;
+
+/** Host-side ledger of the stamped workload: which generation of each
+ *  LPN was issued, and which the device acknowledged. */
+struct CrashLedger
+{
+    std::vector<std::uint64_t> issuedGen; //!< last gen handed to the FTL
+    std::vector<std::uint64_t> ackedGen;  //!< last gen acknowledged
+    std::uint64_t issued = 0;
+    std::uint64_t acked = 0;
+    bool crashed = false;
+
+    explicit CrashLedger(std::uint64_t extent)
+        : issuedGen(extent, 0), ackedGen(extent, 0)
+    {
+    }
+};
+
+/**
+ * Drive @p total stamped writes at QD 8 over half the logical space.
+ * When @p crash_at is non-zero, stop the event loop the moment the
+ * crash_at-th acknowledgement lands — in-flight and buffered writes
+ * stay in flight, exactly like a power cut mid-burst.
+ */
+void
+runCrashWorkload(CrashWorld &w, CrashLedger &led, std::uint64_t total,
+                 std::uint64_t crash_at, std::uint64_t seed)
+{
+    const std::uint32_t page_bytes = w.ftl.pageBytes();
+    const std::uint64_t extent = led.issuedGen.size();
+    Rng rng(seed);
+    std::vector<std::uint8_t> page(page_bytes);
+
+    std::function<void(std::uint32_t)> issue = [&](std::uint32_t slot) {
+        if (led.crashed || led.issued >= total)
+            return;
+        const std::uint64_t lpn = rng.uniform(0, extent - 1);
+        const std::uint64_t gen = ++led.issuedGen[lpn];
+        ++led.issued;
+        const std::uint64_t addr =
+            kCrashHostBase + std::uint64_t(slot) * page_bytes;
+        stampPattern(page, lpn, gen);
+        w.ctrl->backendDram().write(addr, page);
+        w.ftl.writePage(lpn, addr, [&, slot, lpn, gen](bool ok) {
+            if (!ok)
+                fatal("crash workload: write lpn %llu failed",
+                      static_cast<unsigned long long>(lpn));
+            led.ackedGen[lpn] = std::max(led.ackedGen[lpn], gen);
+            ++led.acked;
+            if (crash_at != 0 && led.acked == crash_at) {
+                led.crashed = true;
+                return;
+            }
+            issue(slot);
+        });
+    };
+    for (std::uint32_t q = 0; q < kCrashQd; ++q)
+        issue(q);
+
+    while (!led.crashed && w.eq.step()) {
+    }
+}
+
+/** Verdict of one remount verification pass. */
+struct RecoveryReport
+{
+    std::uint64_t lost = 0;    //!< acknowledged writes missing
+    std::uint64_t stale = 0;   //!< superseded generations resurrected
+    std::uint64_t corrupt = 0; //!< mapped pages with bad content
+    std::uint64_t mapped = 0;
+    std::uint64_t digest = 0; //!< FNV over (lpn, mapped, gen): the
+                              //!< byte-determinism witness
+};
+
+/**
+ * Walk every logical page of the remounted device and hold it against
+ * the ledger: acked generations must read back intact, nothing older
+ * than an acked generation may reappear, and with @p expect_exact
+ * (clean shutdown) the map must equal the last issued generation.
+ * Violations land in the conformance auditor under Check::Recovery.
+ */
+RecoveryReport
+verifyRecovery(CrashWorld &w, const CrashLedger &led, bool expect_exact)
+{
+    const std::uint32_t page_bytes = w.ftl.pageBytes();
+    const std::uint64_t extent = led.issuedGen.size();
+    RecoveryReport rep;
+    std::vector<std::uint8_t> got(page_bytes), want(page_bytes);
+
+    std::uint64_t fnv = 1469598103934665603ull;
+    auto fold = [&fnv](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            fnv ^= (v >> (8 * i)) & 0xFF;
+            fnv *= 1099511628211ull;
+        }
+    };
+    auto violation = [&](const std::string &msg) {
+        obs::audit::Auditor::instance().report(
+            obs::audit::Check::Recovery, "recovery.conservation",
+            "ssd.ftl", w.eq.now(), msg);
+        std::printf("RECOVERY VIOLATION: %s\n", msg.c_str());
+    };
+
+    for (std::uint64_t lpn = 0; lpn < extent; ++lpn) {
+        const bool mapped = w.ftl.isMapped(lpn);
+        std::uint64_t gen = 0;
+        if (!mapped) {
+            if (led.ackedGen[lpn] != 0) {
+                ++rep.lost;
+                violation(strfmt("lpn %llu: acknowledged gen %llu lost "
+                                 "(unmapped after remount)",
+                                 static_cast<unsigned long long>(lpn),
+                                 static_cast<unsigned long long>(
+                                     led.ackedGen[lpn])));
+            }
+        } else {
+            ++rep.mapped;
+            bool ok = false, done = false;
+            w.ftl.readPage(lpn, kCrashHostBase, [&](bool o) {
+                ok = o;
+                done = true;
+            });
+            w.eq.run();
+            if (!done || !ok) {
+                ++rep.corrupt;
+                violation(strfmt("lpn %llu: mapped but unreadable",
+                                 static_cast<unsigned long long>(lpn)));
+            } else {
+                w.ctrl->backendDram().read(kCrashHostBase, got);
+                if (!readStamp(got, lpn, &gen)) {
+                    ++rep.corrupt;
+                    violation(strfmt("lpn %llu: recovered page carries "
+                                     "no valid stamp",
+                                     static_cast<unsigned long long>(
+                                         lpn)));
+                } else {
+                    stampPattern(want, lpn, gen);
+                    if (got != want) {
+                        ++rep.corrupt;
+                        violation(strfmt(
+                            "lpn %llu: payload of gen %llu corrupt",
+                            static_cast<unsigned long long>(lpn),
+                            static_cast<unsigned long long>(gen)));
+                    }
+                    if (gen < led.ackedGen[lpn]) {
+                        ++rep.stale;
+                        violation(strfmt(
+                            "lpn %llu: stale gen %llu resurrected over "
+                            "acknowledged gen %llu",
+                            static_cast<unsigned long long>(lpn),
+                            static_cast<unsigned long long>(gen),
+                            static_cast<unsigned long long>(
+                                led.ackedGen[lpn])));
+                    } else if (gen > led.issuedGen[lpn]) {
+                        ++rep.corrupt;
+                        violation(strfmt(
+                            "lpn %llu: gen %llu was never issued",
+                            static_cast<unsigned long long>(lpn),
+                            static_cast<unsigned long long>(gen)));
+                    } else if (expect_exact &&
+                               gen != led.issuedGen[lpn]) {
+                        ++rep.lost;
+                        violation(strfmt(
+                            "lpn %llu: clean shutdown lost gen %llu "
+                            "(recovered %llu)",
+                            static_cast<unsigned long long>(lpn),
+                            static_cast<unsigned long long>(
+                                led.issuedGen[lpn]),
+                            static_cast<unsigned long long>(gen)));
+                    }
+                }
+            }
+        }
+        fold(lpn);
+        fold(mapped ? 1 : 0);
+        fold(gen);
+    }
+    rep.digest = fnv;
+    return rep;
+}
+
+/**
+ * The campaign proper: for each crash point K, run the stamped
+ * workload until the Kth acknowledgement, cut power (tear in-flight
+ * programs, drop DRAM state), transplant the surviving cells into a
+ * fresh world, remount from OOB, and verify. @p clean_remount adds a
+ * flush + remount pass with exact-map expectations.
+ */
+int
+runCrashCampaign(const std::string &flavor,
+                 const std::vector<std::uint64_t> &points,
+                 bool clean_remount, const std::string &crash_out,
+                 std::uint64_t seed, obs::cli::Options &obs_opts)
+{
+    std::uint64_t max_point = 0;
+    for (std::uint64_t p : points)
+        max_point = std::max(max_point, p);
+    const std::uint64_t total_writes =
+        points.empty() ? 256 : max_point + 64;
+
+    std::ofstream out;
+    if (!crash_out.empty()) {
+        out.open(crash_out, std::ios::app);
+        if (!out)
+            fatal("cannot write %s", crash_out.c_str());
+    }
+
+    auto &pm = obs::power::PowerModel::instance();
+    std::uint64_t violations = 0;
+
+    auto one_cycle = [&](std::uint64_t crash_at) {
+        auto wa = std::make_unique<CrashWorld>(flavor);
+        CrashLedger led(wa->ftl.logicalPages() / 2);
+        runCrashWorkload(*wa, led, total_writes, crash_at, seed);
+
+        Tick cut_at = 0;
+        if (crash_at != 0) {
+            if (!led.crashed)
+                fatal("crash point %llu beyond workload (only %llu "
+                      "acked)",
+                      static_cast<unsigned long long>(crash_at),
+                      static_cast<unsigned long long>(led.acked));
+            cut_at = wa->eq.now();
+            fault::engine().notePowerCut("ssd", cut_at);
+            for (std::uint32_t c = 0; c < wa->ctrl->backendChipCount();
+                 ++c) {
+                wa->sys.lun(c).powerCut();
+            }
+        } else {
+            // Clean shutdown: drain the write buffer first.
+            bool flushed = false;
+            wa->ftl.flush([&](bool) { flushed = true; });
+            wa->eq.run();
+            if (!flushed)
+                fatal("flush did not complete");
+            cut_at = wa->eq.now();
+        }
+
+        // The cells survive the cut; everything else is rebuilt fresh.
+        auto wb = std::make_unique<CrashWorld>(flavor);
+        for (std::uint32_t c = 0; c < wa->ctrl->backendChipCount(); ++c)
+            wb->sys.lun(c).array().copyStateFrom(wa->sys.lun(c).array());
+        wa.reset();
+        // Drop the old world's records: its torn spans would otherwise
+        // trip the auditor's conservation pass, and a power cut tearing
+        // them open is exactly the expected outcome here.
+        if (obs::trace().enabled())
+            obs::trace().clear();
+
+        const std::uint64_t e0 =
+            pm.enabled() ? pm.grandTotalFjAt(wb->eq.now()) : 0;
+        bool mounted = false;
+        wb->ftl.mount([&](bool ok) { mounted = ok; });
+        wb->eq.run();
+        if (!mounted)
+            fatal("remount failed");
+        const Tick mount_ticks = wb->eq.now();
+        const std::uint64_t mount_fj =
+            pm.enabled() ? pm.grandTotalFjAt(wb->eq.now()) - e0 : 0;
+
+        RecoveryReport rep = verifyRecovery(*wb, led, crash_at == 0);
+        violations += rep.lost + rep.stale + rep.corrupt;
+
+        std::string line = strfmt(
+            "%s=%llu acked=%llu issued=%llu cut@%.1fus | mount %llu "
+            "pages (%llu torn) in %.1f us | mapped=%llu digest=%016llx "
+            "| lost=%llu stale=%llu corrupt=%llu",
+            crash_at != 0 ? "crash-at" : "clean-remount",
+            static_cast<unsigned long long>(crash_at),
+            static_cast<unsigned long long>(led.acked),
+            static_cast<unsigned long long>(led.issued),
+            ticks::toUs(cut_at),
+            static_cast<unsigned long long>(
+                wb->ftl.mountPagesScanned()),
+            static_cast<unsigned long long>(wb->ftl.mountTornPages()),
+            ticks::toUs(mount_ticks),
+            static_cast<unsigned long long>(rep.mapped),
+            static_cast<unsigned long long>(rep.digest),
+            static_cast<unsigned long long>(rep.lost),
+            static_cast<unsigned long long>(rep.stale),
+            static_cast<unsigned long long>(rep.corrupt));
+        if (pm.enabled())
+            line += strfmt(" | mount %.2f uJ",
+                           static_cast<double>(mount_fj) / 1e9);
+        std::printf("%s\n", line.c_str());
+        if (out)
+            out << line << "\n";
+        obs_opts.captureMetrics(wb->eq);
+    };
+
+    for (std::uint64_t p : points)
+        one_cycle(p);
+    if (clean_remount || points.empty())
+        one_cycle(0);
+
+    if (fault::engine().armed())
+        std::printf("\n%s\n", fault::engine().summary().c_str());
+
+    int status = obs_opts.finalize();
+    if (violations) {
+        std::printf("crash campaign: %llu recovery violation(s)\n",
+                    static_cast<unsigned long long>(violations));
+        return 1;
+    }
+    std::printf("crash campaign: clean — every acknowledged write "
+                "survived, nothing stale resurrected\n");
+    return status;
+}
+
+/**
+ * Wear-bounded lifetime smoke: a tiny device (1 chip, 4 blocks of 4
+ * pages) written with a hot/cold skew until the first block reaches
+ * its rated erase endurance and is retired. Static wear levelling must
+ * keep the spread bounded the whole way, and the device must keep
+ * serving writes past the retirement.
+ */
+int
+runLifetimeSmoke(const std::string &flavor)
+{
+    EventQueue eq;
+    ChannelConfig cfg;
+    cfg.package = nand::hynixPackage();
+    cfg.package.geometry.pagesPerBlock = 4;
+    cfg.package.geometry.blocksPerPlane = 32;
+    cfg.chips = 1;
+    cfg.rateMT = 200;
+    ChannelSystem sys(eq, "ssd", cfg);
+    auto ctrl = makeController(eq, flavor, sys, true);
+
+    // Generous overprovisioning: with only 32 physical pages, GC needs
+    // real headroom to stay ahead of an 8-deep write stream.
+    ftl::FtlConfig fcfg;
+    fcfg.blocksPerChip = 8;
+    fcfg.overprovision = 0.5;
+    fcfg.writeBufferPages = 0; // every write must reach the cells
+    fcfg.wearSpreadThreshold = 4;
+    ftl::PageFtl ftl(eq, "ftl", *ctrl, fcfg);
+
+    const std::uint64_t extent = ftl.logicalPages();
+    const std::uint32_t page_bytes = ftl.pageBytes();
+    constexpr std::uint64_t kCap = 400000;
+    Rng rng(7);
+    std::uint64_t issued = 0, acked = 0, failed = 0;
+    bool draining = false;
+
+    std::function<void(std::uint32_t)> issue = [&](std::uint32_t slot) {
+        if (draining || issued >= kCap)
+            return;
+        if (ftl.blocksRetired() > 0) {
+            draining = true;
+            return;
+        }
+        // 80% of writes hammer a quarter of the space: the hot/cold
+        // split static wear levelling exists for.
+        const std::uint64_t hot = std::max<std::uint64_t>(1, extent / 4);
+        const std::uint64_t lpn = rng.chance(0.8)
+                                      ? rng.uniform(0, hot - 1)
+                                      : rng.uniform(0, extent - 1);
+        ++issued;
+        ftl.writePage(lpn,
+                      kCrashHostBase + std::uint64_t(slot) * page_bytes,
+                      [&, slot](bool ok) {
+                          ok ? ++acked : ++failed;
+                          issue(slot);
+                      });
+    };
+    for (std::uint32_t q = 0; q < kCrashQd; ++q)
+        issue(q);
+    eq.run();
+
+    if (acked + failed < issued) {
+        std::printf("lifetime smoke: FTL stalled with %llu write(s) "
+                    "in flight (%llu issued, %llu acked)\n",
+                    static_cast<unsigned long long>(issued - acked -
+                                                    failed),
+                    static_cast<unsigned long long>(issued),
+                    static_cast<unsigned long long>(acked));
+        return 1;
+    }
+
+    std::uint32_t spread = ftl.wearSpread(0);
+    std::printf("lifetime smoke (%s): %llu writes (%llu acked, %llu "
+                "failed), %llu erases, max PE %u, wear spread %u "
+                "(threshold %u), %llu WL run(s) moving %llu page(s), "
+                "%llu block(s) retired\n",
+                flavor.c_str(),
+                static_cast<unsigned long long>(issued),
+                static_cast<unsigned long long>(acked),
+                static_cast<unsigned long long>(failed),
+                static_cast<unsigned long long>(ftl.erasesIssued()),
+                ftl.maxEraseCount(0), spread, fcfg.wearSpreadThreshold,
+                static_cast<unsigned long long>(ftl.wearLevelRuns()),
+                static_cast<unsigned long long>(ftl.wearLevelPageMoves()),
+                static_cast<unsigned long long>(ftl.blocksRetired()));
+
+    if (ftl.blocksRetired() == 0) {
+        std::printf("lifetime smoke: cap hit before the erase limit\n");
+        return 1;
+    }
+    if (failed) {
+        std::printf("lifetime smoke: %llu write(s) failed\n",
+                    static_cast<unsigned long long>(failed));
+        return 1;
+    }
+    // The spread may overshoot while a migration is mid-flight, but
+    // never unboundedly: WL holds it near the threshold.
+    if (spread > fcfg.wearSpreadThreshold * 2) {
+        std::printf("lifetime smoke: wear spread %u exceeds bound %u\n",
+                    spread, fcfg.wearSpreadThreshold * 2);
+        return 1;
+    }
+
+    // The device keeps working past the first retirement.
+    std::uint64_t extra_ok = 0;
+    for (std::uint64_t i = 0; i < 32; ++i) {
+        ftl.writePage(i % extent, kCrashHostBase, [&](bool ok) {
+            if (ok)
+                ++extra_ok;
+        });
+        eq.run();
+    }
+    if (extra_ok != 32) {
+        std::printf("lifetime smoke: device died after retirement "
+                    "(%llu/32 writes ok)\n",
+                    static_cast<unsigned long long>(extra_ok));
+        return 1;
+    }
+    std::printf("lifetime smoke: survived the erase limit, wear spread "
+                "bounded\n");
+    return 0;
+}
+
 } // namespace
 
 int
@@ -389,6 +935,11 @@ main(int argc, char **argv)
     std::string fault_plan_path;
     std::string replay_path;
     std::string slo_out;
+    std::string crash_plan_path;
+    std::string crash_out;
+    std::vector<std::uint64_t> crash_points;
+    bool clean_remount = false;
+    bool lifetime_smoke = false;
     std::size_t fleet = 0;
     std::uint32_t streams = 1;
     std::uint32_t threads = 1;
@@ -434,11 +985,33 @@ main(int argc, char **argv)
             slo_out = argv[++i];
             continue;
         }
+        if (std::strcmp(argv[i], "--crash-at") == 0 && i + 1 < argc) {
+            crash_points.push_back(std::strtoull(argv[++i], nullptr, 10));
+            continue;
+        }
+        if (std::strcmp(argv[i], "--crash-plan") == 0 && i + 1 < argc) {
+            crash_plan_path = argv[++i];
+            continue;
+        }
+        if (std::strcmp(argv[i], "--crash-out") == 0 && i + 1 < argc) {
+            crash_out = argv[++i];
+            continue;
+        }
+        if (std::strcmp(argv[i], "--remount") == 0) {
+            clean_remount = true;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--lifetime-smoke") == 0) {
+            lifetime_smoke = true;
+            continue;
+        }
         if (argv[i][0] != '-')
             flavor = argv[i];
         else
             fatal("usage: ssd_fio [coro|rtos|hw] [--faults plan.txt] "
                   "[--fleet N] [--streams M] [--threads T] "
+                  "[--crash-at N] [--crash-plan FILE] [--remount] "
+                  "[--crash-out FILE] [--lifetime-smoke] "
                   "[--qpairs N [--replay FILE] [--tenants N] "
                   "[--slo-out FILE]] %s",
                   obs::cli::Options::usage());
@@ -454,6 +1027,29 @@ main(int argc, char **argv)
             tenants = 8; // a front-end demo needs traffic
         return runNvme(flavor, qpairs, replay_path, tenants, slo_out,
                        threads, obs_opts);
+    }
+
+    if (lifetime_smoke)
+        return runLifetimeSmoke(flavor);
+
+    if (!crash_plan_path.empty() || !crash_points.empty() ||
+        clean_remount) {
+        fault::FaultPlan cplan;
+        cplan.seed = 1234;
+        if (!crash_plan_path.empty()) {
+            cplan = fault::loadPlanFile(crash_plan_path);
+            for (const fault::FaultSpec &s : cplan.faults)
+                if (s.kind == fault::FaultKind::PowerCut)
+                    crash_points.push_back(s.nth);
+            std::printf("crash plan: %zu crash point(s), seed %llu "
+                        "(%s)\n",
+                        crash_points.size(),
+                        static_cast<unsigned long long>(cplan.seed),
+                        crash_plan_path.c_str());
+        }
+        fault::engine().arm(cplan);
+        return runCrashCampaign(flavor, crash_points, clean_remount,
+                                crash_out, cplan.seed, obs_opts);
     }
 
     fault::FaultPlan plan;

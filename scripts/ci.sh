@@ -18,8 +18,14 @@
 #                  workload on 4 threads
 #   --audit-only   BABOL_AUDIT=1 sanitizer sweep + fault campaigns and
 #                  power-capped runs on every controller flavour, plus
-#                  the sharded engine at 1/2/4 threads (requires a prior
+#                  the sharded engine at 1/2/4 threads and the
+#                  wear-bounded lifetime smoke (requires a prior
 #                  plain build; runs one if build/ is missing)
+#   --crash-only   crash/remount campaign: the committed power-cut plan
+#                  (examples/crash_plan.txt) on every controller
+#                  flavour under BABOL_AUDIT=1, a byte-identical-rerun
+#                  determinism check, and a clean-shutdown remount
+#                  (same build requirement)
 #   --guard-only   bench-regression + tracing-overhead guards and the
 #                  determinism smokes: fig12 --threads 1/2/4 must print
 #                  byte-identical tables, and the multi-tenant SLO JSON
@@ -27,7 +33,8 @@
 #                  build requirement)
 #
 # Usage: scripts/ci.sh
-#   [--plain-only|--asan-only|--tsan-only|--audit-only|--guard-only]
+#   [--plain-only|--asan-only|--tsan-only|--audit-only|--crash-only|
+#    --guard-only]
 
 set -euo pipefail
 
@@ -125,6 +132,47 @@ stage_audit() {
             --audit="$ROOT/build/audit-reports/fault_${flavor}.txt" \
             | tail -4
     done
+
+    # Wear-bounded lifetime smoke: drive one chip to its erase limit.
+    # The FTL must retire the worn block without stranding a single
+    # in-flight write, static WL must hold the erase-count spread, and
+    # the device must keep serving writes afterwards.
+    echo "=== tier-1: wear-bounded lifetime smoke ==="
+    "$ROOT/build/examples/ssd_fio" coro --lifetime-smoke | tail -2
+}
+
+# Crash/remount campaign: every power-cut point in the committed plan
+# is one full cut/remount/verify cycle, run on every controller flavour
+# with the auditor armed as a sanitizer. The gate: zero lost
+# acknowledged writes, zero resurrected stale mappings, audit-clean —
+# and recovery must be deterministic, so a rerun's digest file has to
+# be byte-identical. A clean shutdown must remount to exactly the
+# issued state.
+stage_crash() {
+    ensure_plain_build
+    echo "=== tier-1: crash/remount campaign (every flavour) ==="
+    mkdir -p "$ROOT/build/crash-reports"
+    local flavor
+    for flavor in coro rtos hw; do
+        echo "--- $flavor ---"
+        BABOL_AUDIT=1 "$ROOT/build/examples/ssd_fio" "$flavor" \
+            --crash-plan "$ROOT/examples/crash_plan.txt" \
+            --crash-out "$ROOT/build/crash-reports/crash_${flavor}_a.txt" \
+            | tail -3
+        BABOL_AUDIT=1 "$ROOT/build/examples/ssd_fio" "$flavor" \
+            --crash-plan "$ROOT/examples/crash_plan.txt" \
+            --crash-out "$ROOT/build/crash-reports/crash_${flavor}_b.txt" \
+            >/dev/null
+        cmp "$ROOT/build/crash-reports/crash_${flavor}_a.txt" \
+            "$ROOT/build/crash-reports/crash_${flavor}_b.txt" || {
+            echo "FAIL: $flavor crash recovery is not deterministic"
+            exit 1
+        }
+    done
+    echo "    byte-identical recovery digests on reruns"
+
+    echo "=== tier-1: clean-shutdown remount ==="
+    BABOL_AUDIT=1 "$ROOT/build/examples/ssd_fio" coro --remount | tail -2
 }
 
 # Bench-regression guard: the event kernel's throughput must stay
@@ -232,17 +280,19 @@ case "$MODE" in
   --asan-only)  stage_asan ;;
   --tsan-only)  stage_tsan ;;
   --audit-only) stage_audit ;;
+  --crash-only) stage_crash ;;
   --guard-only) stage_guard ;;
   all)
     stage_plain
     stage_audit
+    stage_crash
     stage_asan
     stage_tsan
     stage_guard
     ;;
   *)
     echo "usage: scripts/ci.sh" \
-         "[--plain-only|--asan-only|--tsan-only|--audit-only|--guard-only]" \
+         "[--plain-only|--asan-only|--tsan-only|--audit-only|--crash-only|--guard-only]" \
          >&2
     exit 2
     ;;

@@ -265,7 +265,7 @@ class ChannelController : public SimObject, public FlashBackend
     std::uint64_t payloadWritten_ = 0;
     Distribution latencyUs_;
 
-    static constexpr int kOpKinds = 6;
+    static constexpr int kOpKinds = 7;
     std::uint32_t obsTrack_;
     std::uint32_t opLabel_[kOpKinds] = {};
     std::vector<obs::SpanId> chipSpan_;

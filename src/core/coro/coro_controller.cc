@@ -63,6 +63,8 @@ CoroController::dispatch(const FlashRequest &req)
         return eraseOp(env_, req, false);
       case FlashOpKind::SlcErase:
         return eraseOp(env_, req, true);
+      case FlashOpKind::OobRead:
+        return oobReadOp(env_, req);
     }
     panic("unknown flash op kind %d", static_cast<int>(req.kind));
 }

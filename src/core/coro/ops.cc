@@ -170,6 +170,53 @@ pslcReadOp(OpEnv &env, FlashRequest req)
 }
 
 // --------------------------------------------------------------------
+// Raw OOB read (mount scan)
+// --------------------------------------------------------------------
+Op<OpResult>
+oobReadOp(OpEnv &env, FlashRequest req)
+{
+    OpResult res;
+    res.startTick = env.rt.curTick();
+    if (req.dataBytes == 0)
+        req.dataBytes = env.geo().pageOobBytes;
+    const std::uint32_t oob_col = env.geo().oobColumn();
+
+    // Latch the read at the OOB column (raw addressing — the tail sits
+    // past the ECC image, so flashColumnFor must not be applied).
+    Transaction latch(req.chip, strfmt("OOB_READ.ca c%u", req.chip));
+    latch.add(ChipControl{1u << req.chip});
+    latch.add(CaWriter::command(kRead1)
+                  .addr(encodeColRow(env.geo(), oob_col, req.row))
+                  .cmd(kRead2));
+    co_await env.rt.submit(std::move(latch));
+
+    PollStatus ps = co_await pollReadyOp(env, req.chip, status::kRdy,
+                                         env.timing().tR, "OOB_READ");
+    if (ps.timedOut) {
+        res.timedOut = true;
+        co_return res;
+    }
+
+    // Raw transfer of the tail — lands verbatim in DRAM.
+    Transaction xfer(req.chip, strfmt("OOB_READ.xfer c%u", req.chip));
+    xfer.priority = 1;
+    xfer.add(ChipControl{1u << req.chip});
+    xfer.add(CaWriter::command(kChangeReadCol1)
+                 .addr(encodeColumn(env.geo(), oob_col))
+                 .cmd(kChangeReadCol2));
+    DataReader dr;
+    dr.bytes = req.dataBytes;
+    dr.toDram = true;
+    dr.dramAddr = req.dramAddr;
+    dr.eccCorrect = false;
+    dr.pageColumn = oob_col;
+    xfer.add(dr);
+    co_await env.rt.submit(std::move(xfer));
+    res.ok = true;
+    co_return res;
+}
+
+// --------------------------------------------------------------------
 // PAGE PROGRAM
 // --------------------------------------------------------------------
 // LOC:BEGIN PROGRAM
@@ -191,6 +238,17 @@ programOp(OpEnv &env, FlashRequest req, bool pslc)
                        .bytes = req.dataBytes,
                        .eccEncode = true,
                        .inlineData = {}});
+    if (!req.oob.empty()) {
+        // OOB tail: CHANGE WRITE COLUMN to the raw tail past the ECC
+        // image, then a raw burst into the same page register — the
+        // one array program below commits data and record atomically.
+        txn.add(CaWriter::command(kChangeWriteCol)
+                    .addr(encodeColumn(env.geo(), env.geo().oobColumn())));
+        DataWriter oob;
+        oob.bytes = static_cast<std::uint32_t>(req.oob.size());
+        oob.inlineData = req.oob;
+        txn.add(oob);
+    }
     txn.add(CaWriter::command(kProgram2));
     co_await env.rt.submit(std::move(txn));
 

@@ -69,6 +69,14 @@ Op<OpResult> readOp(OpEnv &env, FlashRequest req);
 /** Algorithm 3: pseudo-SLC READ — Algorithm 2 with the vendor prefix. */
 Op<OpResult> pslcReadOp(OpEnv &env, FlashRequest req);
 
+/**
+ * Raw OOB-tail read for the mount scan: a full READ (the array still
+ * pays tR) whose transfer selects the OOB column and moves the record
+ * bytes verbatim — no ECC image, no correction. Torn pages are detected
+ * by the FTL's record CRC, not by ECC.
+ */
+Op<OpResult> oobReadOp(OpEnv &env, FlashRequest req);
+
 /** PAGE PROGRAM (optionally through the pSLC prefix). */
 Op<OpResult> programOp(OpEnv &env, FlashRequest req, bool pslc = false);
 

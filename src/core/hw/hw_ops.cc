@@ -35,9 +35,14 @@ makeHwOpFsm(HwController &ctrl, FlashRequest req)
         return std::make_unique<HwProgramFsm>(ctrl, std::move(req));
       case FlashOpKind::Erase:
         return std::make_unique<HwEraseFsm>(ctrl, std::move(req));
+      case FlashOpKind::OobRead:
+        // The mount scan forced a respin: a fourth hand-written FSM
+        // (Table II grows again) where the BABOL flavours reuse their
+        // read building blocks.
+        return std::make_unique<HwOobReadFsm>(ctrl, std::move(req));
       default:
         // The rigidity the paper complains about: anything beyond the
-        // three baked-in operations needs new hardware.
+        // baked-in operations needs new hardware.
         fatal("hardware controller has no FSM for operation '%s' — "
               "respin the RTL or use a BABOL controller",
               toString(req.kind));
@@ -225,6 +230,126 @@ HwReadFsm::step()
 // LOC:END HW_READ
 
 // =====================================================================
+// OOB READ — the respin the mount scan forced on the fixed-function
+// controller: another full waveform written out by hand.
+// =====================================================================
+void
+HwOobReadFsm::start()
+{
+    babol_assert(state_ == State::Idle, "oob FSM restarted");
+    if (req_.dataBytes == 0)
+        req_.dataBytes = ctrl_.system().config().package.geometry.pageOobBytes;
+    state_ = State::IssueCmdAddr;
+    step();
+}
+
+void
+HwOobReadFsm::step()
+{
+    ChannelSystem &sys = ctrl_.system();
+    const Geometry &geo = sys.config().package.geometry;
+    const TimingParams &t = sys.config().package.timing;
+    const std::uint32_t oob_col = geo.oobColumn();
+
+    switch (state_) {
+      case State::IssueCmdAddr: {
+        // --- hard-coded 00h / 5 address cycles / 30h at the OOB column
+        // (raw: no ECC column mapping) ---
+        chan::Segment seg;
+        seg.label = strfmt("HW.OOB_READ.ca c%u", req_.chip);
+        seg.ceMask = 1u << req_.chip;
+
+        chan::SegmentItem cmd1;
+        cmd1.type = CycleType::CmdLatch;
+        cmd1.out.push_back(opcode::kRead1);
+        seg.items.push_back(cmd1);
+
+        chan::SegmentItem addr;
+        addr.type = CycleType::AddrLatch;
+        addr.out.push_back(static_cast<std::uint8_t>(oob_col & 0xFF));
+        addr.out.push_back(
+            static_cast<std::uint8_t>((oob_col >> 8) & 0xFF));
+        {
+            std::vector<std::uint8_t> row = encodeRow(geo, req_.row);
+            addr.out.push_back(row[0]);
+            addr.out.push_back(row[1]);
+            addr.out.push_back(row[2]);
+        }
+        seg.items.push_back(addr);
+
+        chan::SegmentItem cmd2;
+        cmd2.type = CycleType::CmdLatch;
+        cmd2.out.push_back(opcode::kRead2);
+        seg.items.push_back(cmd2);
+
+        seg.postDelay = t.tWb;
+
+        state_ = State::WaitArrayBusy;
+        ctrl_.issueSegment(req_.chip, std::move(seg),
+                           [this](chan::SegmentResult) { step(); });
+        return;
+      }
+      case State::WaitArrayBusy:
+        state_ = State::WaitArrayReady;
+        waitReadyPin([this] { step(); });
+        return;
+      case State::WaitArrayReady: {
+        // --- hard-coded 05h / 2 column cycles / E0h / raw DOUT ---
+        chan::Segment seg;
+        seg.label = strfmt("HW.OOB_READ.xfer c%u", req_.chip);
+        seg.ceMask = 1u << req_.chip;
+
+        chan::SegmentItem cmd1;
+        cmd1.type = CycleType::CmdLatch;
+        cmd1.out.push_back(opcode::kChangeReadCol1);
+        cmd1.preDelay = t.tRr;
+        seg.items.push_back(cmd1);
+
+        chan::SegmentItem col;
+        col.type = CycleType::AddrLatch;
+        col.out.push_back(static_cast<std::uint8_t>(oob_col & 0xFF));
+        col.out.push_back(
+            static_cast<std::uint8_t>((oob_col >> 8) & 0xFF));
+        seg.items.push_back(col);
+
+        chan::SegmentItem cmd2;
+        cmd2.type = CycleType::CmdLatch;
+        cmd2.out.push_back(opcode::kChangeReadCol2);
+        seg.items.push_back(cmd2);
+
+        chan::SegmentItem data;
+        data.type = CycleType::DataOut;
+        data.inCount = req_.dataBytes;
+        data.preDelay = t.tCcs;
+        seg.items.push_back(data);
+
+        state_ = State::TransferData;
+        ctrl_.issueSegment(req_.chip, std::move(seg),
+                           [this, oob_col](chan::SegmentResult result) {
+            // Raw DMA: land the tail verbatim, ECC bypassed.
+            DataReader descriptor;
+            descriptor.bytes = req_.dataBytes;
+            descriptor.toDram = true;
+            descriptor.dramAddr = req_.dramAddr;
+            descriptor.eccCorrect = false;
+            descriptor.pageColumn = oob_col;
+            ctrl_.system().packetizer().deliver(descriptor, result.dataOut,
+                                                {});
+            result_.ok = true;
+            state_ = State::Done;
+            step();
+        });
+        return;
+      }
+      case State::Done:
+        finish();
+        return;
+      default:
+        panic("oob FSM in impossible state %d", static_cast<int>(state_));
+    }
+}
+
+// =====================================================================
 // PROGRAM
 // =====================================================================
 // LOC:BEGIN HW_PROGRAM
@@ -283,6 +408,31 @@ HwProgramFsm::step()
         data.out = sys.packetizer().fetch(descriptor);
         data.preDelay = t.tAdl; // address-to-data-loading wait
         seg.items.push_back(data);
+
+        if (!req_.oob.empty()) {
+            // --- hard-coded 85h / 2 column cycles / raw DIN tail ---
+            // the OOB record rides the same 10h confirm below, so data
+            // and record commit atomically.
+            const std::uint32_t oob_col = geo.oobColumn();
+            chan::SegmentItem wcol_cmd;
+            wcol_cmd.type = CycleType::CmdLatch;
+            wcol_cmd.out.push_back(opcode::kChangeWriteCol);
+            seg.items.push_back(wcol_cmd);
+
+            chan::SegmentItem wcol_addr;
+            wcol_addr.type = CycleType::AddrLatch;
+            wcol_addr.out.push_back(
+                static_cast<std::uint8_t>(oob_col & 0xFF));
+            wcol_addr.out.push_back(
+                static_cast<std::uint8_t>((oob_col >> 8) & 0xFF));
+            seg.items.push_back(wcol_addr);
+
+            chan::SegmentItem oob;
+            oob.type = CycleType::DataIn;
+            oob.out = req_.oob;
+            oob.preDelay = t.tCcs; // change-column settle before DQS
+            seg.items.push_back(oob);
+        }
 
         chan::SegmentItem cmd2;
         cmd2.type = CycleType::CmdLatch;

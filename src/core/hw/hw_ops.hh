@@ -98,6 +98,32 @@ class HwProgramFsm : public HwOpFsm
     std::uint8_t statusByte_ = 0;
 };
 
+/**
+ * Raw OOB-tail read (mount scan): the fourth hand-written FSM this
+ * controller family has accumulated. A full READ waveform latched at
+ * the OOB column, R/B# wait, then a raw DOUT burst handed to the DMA
+ * with the ECC path bypassed.
+ */
+class HwOobReadFsm : public HwOpFsm
+{
+  public:
+    using HwOpFsm::HwOpFsm;
+    void start() override;
+
+  private:
+    enum class State : std::uint8_t {
+        Idle,
+        IssueCmdAddr,
+        WaitArrayBusy,
+        WaitArrayReady,
+        TransferData,
+        Done,
+    };
+    void step();
+
+    State state_ = State::Idle;
+};
+
 /** ERASE: hard-coded row wave, R/B# wait, status check. */
 class HwEraseFsm : public HwOpFsm
 {

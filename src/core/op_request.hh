@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "nand/geometry.hh"
 #include "obs/span.hh"
@@ -36,6 +37,7 @@ enum class FlashOpKind : std::uint8_t {
     PslcProgram, //!< pseudo-SLC page program
     Erase,       //!< block erase
     SlcErase,    //!< erase leaving the block in SLC mode
+    OobRead,     //!< raw out-of-band tail read (mount scan; no ECC)
 };
 
 const char *toString(FlashOpKind kind);
@@ -88,6 +90,15 @@ struct FlashRequest
 
     /** DRAM staging address of the payload. */
     std::uint64_t dramAddr = 0;
+
+    /**
+     * Out-of-band tail bytes for programs (at most Geometry::
+     * pageOobBytes). Non-empty means the controller appends a raw
+     * CHANGE WRITE COLUMN + data-in burst to the program transaction,
+     * so the OOB record lands in the same page register and is
+     * committed by the same array program — atomically with the data.
+     */
+    std::vector<std::uint8_t> oob;
 
     /** Scheduling priority (higher first, policy permitting). */
     int priority = 0;

@@ -74,6 +74,9 @@ RtosController::startRequest(FlashRequest req)
       case FlashOpKind::SlcErase:
         op = std::make_unique<RtosEraseOp>(*this, id, std::move(req), true);
         break;
+      case FlashOpKind::OobRead:
+        op = std::make_unique<RtosOobReadOp>(*this, id, std::move(req));
+        break;
     }
     babol_assert(op != nullptr, "unknown flash op kind");
 

@@ -232,6 +232,81 @@ RtosReadOp::onMessage(cpu::RtosKernel &kernel, std::uint64_t msg)
 // LOC:END RTOS_READ
 
 // --------------------------------------------------------------------
+// Raw OOB read (mount scan)
+// --------------------------------------------------------------------
+RtosOobReadOp::RtosOobReadOp(RtosController &ctrl, std::uint64_t id,
+                             FlashRequest req)
+    : RtosOpBase(ctrl, id,
+                 [&] {
+                     if (req.dataBytes == 0) {
+                         req.dataBytes = ctrl.system()
+                                             .config()
+                                             .package.geometry.pageOobBytes;
+                     }
+                     return std::move(req);
+                 }(),
+                 strfmt("oob.c%u", req.chip), 2)
+{}
+
+void
+RtosOobReadOp::onMessage(cpu::RtosKernel &kernel, std::uint64_t msg)
+{
+    ChannelSystem &sys = ctrl_.system();
+    const Geometry &geo = sys.config().package.geometry;
+    const TimingParams &t = sys.config().package.timing;
+    const std::uint32_t oob_col = geo.oobColumn();
+
+    switch (st_) {
+      case St::Idle: {
+        babol_assert(msg == rtos_msg::kStart, "oob op expected start");
+        // Latch the read at the raw OOB column (no flashColumnFor: the
+        // tail sits past the ECC image).
+        Transaction latch(req_.chip, strfmt("OOB_READ.ca c%u", req_.chip));
+        latch.add(ChipControl{1u << req_.chip});
+        latch.add(CaWriter::command(kRead1)
+                      .addr(encodeColRow(geo, oob_col, req_.row))
+                      .cmd(kRead2));
+        submitTxn(std::move(latch));
+        st_ = St::WaitCaLatch;
+        return;
+      }
+      case St::WaitCaLatch:
+        beginPollWindow(t.tR);
+        submitTxn(makeStatusPoll());
+        st_ = St::WaitStatus;
+        return;
+      case St::WaitStatus: {
+        if (!(lastStatus() & status::kRdy)) {
+            if (repollOrTimeout("OOB_READ"))
+                finish(res_);
+            return;
+        }
+        Transaction xfer(req_.chip, strfmt("OOB_READ.xfer c%u", req_.chip));
+        xfer.priority = 1;
+        xfer.add(ChipControl{1u << req_.chip});
+        xfer.add(CaWriter::command(kChangeReadCol1)
+                     .addr(encodeColumn(geo, oob_col))
+                     .cmd(kChangeReadCol2));
+        DataReader dr;
+        dr.bytes = req_.dataBytes;
+        dr.toDram = true;
+        dr.dramAddr = req_.dramAddr;
+        dr.eccCorrect = false;
+        dr.pageColumn = oob_col;
+        xfer.add(dr);
+        submitTxn(std::move(xfer));
+        st_ = St::WaitTransfer;
+        return;
+      }
+      case St::WaitTransfer:
+        res_.ok = true;
+        finish(res_);
+        return;
+    }
+    panic("oob op in impossible state");
+}
+
+// --------------------------------------------------------------------
 // PROGRAM
 // --------------------------------------------------------------------
 // LOC:BEGIN RTOS_PROGRAM
@@ -270,6 +345,16 @@ RtosProgramOp::onMessage(cpu::RtosKernel &kernel, std::uint64_t msg)
                            .bytes = req_.dataBytes,
                            .eccEncode = true,
                            .inlineData = {}});
+        if (!req_.oob.empty()) {
+            // OOB tail: raw burst into the same page register past the
+            // ECC image; committed by the same 10h confirm below.
+            txn.add(CaWriter::command(kChangeWriteCol)
+                        .addr(encodeColumn(geo, geo.oobColumn())));
+            DataWriter oob;
+            oob.bytes = static_cast<std::uint32_t>(req_.oob.size());
+            oob.inlineData = req_.oob;
+            txn.add(oob);
+        }
         txn.add(CaWriter::command(kProgram2));
         submitTxn(std::move(txn));
         st_ = St::WaitProgram;

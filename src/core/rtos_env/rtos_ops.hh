@@ -107,6 +107,28 @@ class RtosReadOp : public RtosOpBase
     std::uint32_t retries_ = 0;
 };
 
+/**
+ * Raw OOB-tail read (mount scan) as an explicit state machine: a READ
+ * latched at the OOB column whose transfer moves the record bytes
+ * verbatim (no ECC, no retry — torn pages are the FTL's CRC's problem).
+ */
+class RtosOobReadOp : public RtosOpBase
+{
+  public:
+    RtosOobReadOp(RtosController &ctrl, std::uint64_t id, FlashRequest req);
+
+    void onMessage(cpu::RtosKernel &kernel, std::uint64_t msg) override;
+
+  private:
+    enum class St : std::uint8_t {
+        Idle,
+        WaitCaLatch,
+        WaitStatus,
+        WaitTransfer,
+    };
+    St st_ = St::Idle;
+};
+
 /** PAGE PROGRAM (optionally pSLC) as an explicit state machine. */
 class RtosProgramOp : public RtosOpBase
 {

@@ -187,6 +187,8 @@ toString(FlashOpKind kind)
         return "ERASE";
       case FlashOpKind::SlcErase:
         return "SLC_ERASE";
+      case FlashOpKind::OobRead:
+        return "OOB_READ";
     }
     return "?";
 }

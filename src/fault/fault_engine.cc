@@ -22,7 +22,7 @@ FaultEngine::FaultEngine()
     faultMetrics_.value("injected", [this] { return injected_; });
     for (FaultKind k : {FaultKind::BitBurst, FaultKind::ProgFail,
                         FaultKind::EraseFail, FaultKind::StuckBusy,
-                        FaultKind::Drift}) {
+                        FaultKind::Drift, FaultKind::PowerCut}) {
         faultMetrics_.value(toString(k), [this, k] {
             return injectedKind_[static_cast<std::size_t>(k)];
         });
@@ -297,11 +297,26 @@ FaultEngine::noteTimeout(std::string_view who, Tick now)
                        who.data()));
 }
 
+void
+FaultEngine::notePowerCut(std::string_view who, Tick now)
+{
+    if (!armed())
+        return;
+    std::lock_guard<std::mutex> lk(mu_);
+    ++injected_;
+    ++injectedKind_[static_cast<std::size_t>(FaultKind::PowerCut)];
+    append(now, strfmt("inject powercut %.*s",
+                       static_cast<int>(who.size()), who.data()));
+    obs::trace().instant(obsTrack_, lblInject_, now, obs::currentCtx(),
+                         static_cast<std::uint64_t>(FaultKind::PowerCut));
+}
+
 std::string
 FaultEngine::summary() const
 {
     return strfmt("faults injected=%llu (bitburst=%llu progfail=%llu "
-                  "erasefail=%llu stuckbusy=%llu drift=%llu) "
+                  "erasefail=%llu stuckbusy=%llu drift=%llu "
+                  "powercut=%llu) "
                   "retry.steps=%llu remap.count=%llu timeouts=%llu "
                   "suppressed=%llu",
                   static_cast<unsigned long long>(injected_),
@@ -315,6 +330,8 @@ FaultEngine::summary() const
                       injectedOf(FaultKind::StuckBusy)),
                   static_cast<unsigned long long>(
                       injectedOf(FaultKind::Drift)),
+                  static_cast<unsigned long long>(
+                      injectedOf(FaultKind::PowerCut)),
                   static_cast<unsigned long long>(retrySteps_),
                   static_cast<unsigned long long>(remaps_),
                   static_cast<unsigned long long>(timeouts_),

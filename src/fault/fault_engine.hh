@@ -131,6 +131,10 @@ class FaultEngine
     /** An op gave up after exhausting its poll/timeout budget. */
     void noteTimeout(std::string_view who, Tick now);
 
+    /** The crash harness cut power at @p now (counts as a PowerCut
+     *  injection and lands in the deterministic recovery log). */
+    void notePowerCut(std::string_view who, Tick now);
+
     // --- Introspection ---
 
     std::uint64_t injectedTotal() const { return injected_; }
@@ -177,7 +181,7 @@ class FaultEngine
     std::unordered_map<std::string, Tick> suppressUntil_;
 
     std::uint64_t injected_ = 0;
-    std::uint64_t injectedKind_[5] = {};
+    std::uint64_t injectedKind_[6] = {};
     std::uint64_t retrySteps_ = 0;
     std::uint64_t remaps_ = 0;
     std::uint64_t timeouts_ = 0;

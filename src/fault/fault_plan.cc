@@ -21,6 +21,8 @@ toString(FaultKind k)
         return "stuckbusy";
       case FaultKind::Drift:
         return "drift";
+      case FaultKind::PowerCut:
+        return "powercut";
     }
     return "?";
 }
@@ -32,7 +34,7 @@ kindFromString(const std::string &s, int line_no)
 {
     for (FaultKind k : {FaultKind::BitBurst, FaultKind::ProgFail,
                         FaultKind::EraseFail, FaultKind::StuckBusy,
-                        FaultKind::Drift}) {
+                        FaultKind::Drift, FaultKind::PowerCut}) {
         if (s == toString(k))
             return k;
     }

@@ -33,7 +33,7 @@
 
 namespace babol::fault {
 
-/** The five injectable fault classes (paper §VI's error scenarios). */
+/** The injectable fault classes (paper §VI's error scenarios). */
 enum class FaultKind : std::uint8_t {
     BitBurst,  //!< one read returns more flipped bits than ECC corrects
     ProgFail,  //!< program verify fails (FAIL bit in 70h status)
@@ -41,6 +41,10 @@ enum class FaultKind : std::uint8_t {
     StuckBusy, //!< array op overruns tR/tPROG/tBERS by extraBusy ticks
     Drift,     //!< read window drifted: reads stay uncorrectable until
                //!< the controller escalates retryLevel >= level
+    PowerCut,  //!< power lost after the nth acknowledged host write:
+               //!< in-flight programs tear, DRAM-buffered state drops;
+               //!< driven by the crash harness (ssd_fio --crash-plan),
+               //!< which remounts and verifies recovery
 };
 
 const char *toString(FaultKind k);

@@ -10,6 +10,32 @@ using core::FlashOpKind;
 using core::FlashRequest;
 using core::OpResult;
 
+/**
+ * Transient state of an in-progress mount scan. Each chip scans its
+ * blocks independently (one outstanding OOB_READ per chip, so the scan
+ * parallelises across channels exactly like host traffic); the
+ * per-page results are merged only in finishMount(), which makes the
+ * rebuilt state independent of completion order — and therefore
+ * byte-identical at any shard-thread count.
+ */
+struct PageFtl::MountScan
+{
+    Callback cb;
+    std::vector<std::uint32_t> block; //!< per-chip block cursor
+    std::vector<std::uint32_t> page;  //!< per-chip page cursor
+    std::uint32_t chipsActive = 0;
+
+    std::vector<std::uint64_t> bestSeq; //!< per LPN; 0 = never seen
+    std::vector<std::uint64_t> bestPpa;
+    /** seq of each decoded record, addressed [chip][block][page]. */
+    std::vector<std::vector<std::vector<std::uint64_t>>> pageSeq;
+    /** Grown defects recovered from OOB journal entries. */
+    std::vector<std::vector<std::uint8_t>> defect;
+    std::uint64_t maxSeq = 0;
+};
+
+PageFtl::~PageFtl() = default;
+
 PageFtl::PageFtl(EventQueue &eq, const std::string &name,
                  core::FlashBackend &backend, FtlConfig cfg)
     : SimObject(eq, name),
@@ -17,17 +43,26 @@ PageFtl::PageFtl(EventQueue &eq, const std::string &name,
       cfg_(cfg),
       pageBytes_(backend.backendGeometry().pageDataBytes),
       pagesPerBlock_(backend.backendGeometry().pagesPerBlock),
+      oobBytes_(backend.backendGeometry().pageOobBytes),
       metrics_(obs::metrics(), name)
 {
     obsTrack_ = obs::interner().intern(name);
     lblRead_ = obs::interner().intern("ftl.read");
     lblWrite_ = obs::interner().intern("ftl.write");
+    lblMount_ = obs::interner().intern("ftl.mount");
     metrics_.value("host_reads", [this] { return hostReads_; });
     metrics_.value("host_writes", [this] { return hostWrites_; });
     metrics_.value("gc_runs", [this] { return gcRuns_; });
     metrics_.value("gc_page_moves", [this] { return gcPageMoves_; });
+    metrics_.value("wl_runs", [this] { return wlRuns_; });
+    metrics_.value("wl_page_moves", [this] { return wlPageMoves_; });
     metrics_.value("erases", [this] { return erases_; });
     metrics_.value("blocks_retired", [this] { return retired_; });
+    metrics_.value("mount_pages_scanned",
+                   [this] { return mountPagesScanned_; });
+    metrics_.value("mount_torn_pages", [this] { return mountTornPages_; });
+    metrics_.value("wb_hits", [this] { return wbHits_; });
+    metrics_.value("wb_flushes", [this] { return wbFlushes_; });
 
     const std::uint32_t chips = backend_.backendChipCount();
     babol_assert(cfg_.blocksPerChip <=
@@ -35,6 +70,8 @@ PageFtl::PageFtl(EventQueue &eq, const std::string &name,
                  "FTL wants %u blocks/chip but the package has %u",
                  cfg_.blocksPerChip,
                  backend_.backendGeometry().blocksPerLun());
+    babol_assert(oobBytes_ >= kOobCopies * kOobRecordBytes,
+                 "OOB tail too small for the FTL's metadata record");
 
     auto usable = static_cast<std::uint32_t>(
         cfg_.blocksPerChip * (1.0 - cfg_.overprovision));
@@ -42,6 +79,7 @@ PageFtl::PageFtl(EventQueue &eq, const std::string &name,
     logicalPages_ = static_cast<std::uint64_t>(chips) * usable *
                     pagesPerBlock_;
     map_.assign(logicalPages_, kUnmapped);
+    mapSeq_.assign(logicalPages_, 0);
 
     chips_.resize(chips);
     for (auto &chip : chips_) {
@@ -52,29 +90,20 @@ PageFtl::PageFtl(EventQueue &eq, const std::string &name,
         }
     }
 
-    // Import the grown-defect table from the previous mount: those
-    // blocks are out of service before the first allocation.
-    for (const GrownDefect &gd : cfg_.grownDefects) {
-        if (gd.chip >= chips || gd.block >= cfg_.blocksPerChip) {
-            warn("%s: grown defect chip %u block %u outside the managed "
-                 "slice; ignored",
-                 name.c_str(), gd.chip, gd.block);
-            continue;
-        }
-        ChipState &cs = chips_[gd.chip];
-        if (cs.blocks[gd.block].bad)
-            continue; // duplicate entry
-        cs.blocks[gd.block].bad = true;
-        auto it = std::find(cs.freeBlocks.begin(), cs.freeBlocks.end(),
-                            gd.block);
-        if (it != cs.freeBlocks.end())
-            cs.freeBlocks.erase(it);
-    }
-
-    // GC staging buffer lives at the top of DRAM.
-    babol_assert(backend_.backendDram().size() >= pageBytes_,
-                 "DRAM too small for the GC scratch page");
-    gcScratchAddr_ = backend_.backendDram().size() - pageBytes_;
+    // DRAM layout, top down: one move-staging page per chip (GC, WL and
+    // the mount scan each stage through their chip's page so concurrent
+    // background moves cannot clobber each other), then the write
+    // buffer. Everything below is the host's.
+    const std::uint64_t reserve =
+        static_cast<std::uint64_t>(pageBytes_) *
+        (chips + cfg_.writeBufferPages);
+    babol_assert(backend_.backendDram().size() >= reserve,
+                 "DRAM too small for the FTL staging regions");
+    gcScratchAddr_ = backend_.backendDram().size() -
+                     static_cast<std::uint64_t>(pageBytes_) * chips;
+    wbBase_ = gcScratchAddr_ -
+              static_cast<std::uint64_t>(pageBytes_) * cfg_.writeBufferPages;
+    wbSlots_.resize(cfg_.writeBufferPages);
 }
 
 std::uint64_t
@@ -97,7 +126,14 @@ PageFtl::unpackPpa(std::uint64_t packed) const
 bool
 PageFtl::isMapped(std::uint64_t lpn) const
 {
-    return lpn < map_.size() && map_[lpn] != kUnmapped;
+    if (lpn >= map_.size())
+        return false;
+    if (map_[lpn] != kUnmapped)
+        return true;
+    for (const BufferSlot &s : wbSlots_)
+        if (s.lpn == lpn)
+            return true;
+    return false;
 }
 
 std::vector<GrownDefect>
@@ -131,11 +167,232 @@ PageFtl::minFreeEraseCount(std::uint32_t chip) const
     return least;
 }
 
+std::uint32_t
+PageFtl::wearSpread(std::uint32_t chip) const
+{
+    std::uint32_t most = 0;
+    std::uint32_t least = ~0u;
+    for (const BlockInfo &bi : chips_[chip].blocks) {
+        if (bi.bad)
+            continue;
+        most = std::max(most, bi.eraseCount);
+        least = std::min(least, bi.eraseCount);
+    }
+    return least == ~0u ? 0 : most - least;
+}
+
+// ---------------------------------------------------------------------
+// Mount: rebuild everything from the OOB records.
+// ---------------------------------------------------------------------
+
+void
+PageFtl::mount(Callback cb)
+{
+    babol_assert(!mountScan_, "mount already in progress");
+    const auto chips = static_cast<std::uint32_t>(chips_.size());
+
+    // Reset to pristine: whatever state this object accumulated is
+    // discarded — flash is the only source of truth.
+    std::fill(map_.begin(), map_.end(), kUnmapped);
+    std::fill(mapSeq_.begin(), mapSeq_.end(), 0);
+    for (auto &chip : chips_) {
+        chip = ChipState{};
+        chip.blocks.resize(cfg_.blocksPerChip);
+        for (std::uint32_t b = 0; b < cfg_.blocksPerChip; ++b)
+            chip.blocks[b].pageLpn.assign(pagesPerBlock_, kUnmapped);
+    }
+
+    mountScan_ = std::make_unique<MountScan>();
+    MountScan &ms = *mountScan_;
+    ms.cb = std::move(cb);
+    ms.block.assign(chips, 0);
+    ms.page.assign(chips, 0);
+    ms.chipsActive = chips;
+    ms.bestSeq.assign(logicalPages_, 0);
+    ms.bestPpa.assign(logicalPages_, 0);
+    ms.pageSeq.assign(
+        chips, std::vector<std::vector<std::uint64_t>>(
+                   cfg_.blocksPerChip,
+                   std::vector<std::uint64_t>(pagesPerBlock_, 0)));
+    ms.defect.assign(chips,
+                     std::vector<std::uint8_t>(cfg_.blocksPerChip, 0));
+
+    for (std::uint32_t c = 0; c < chips; ++c)
+        mountScanNext(c);
+}
+
+void
+PageFtl::mountScanNext(std::uint32_t chip)
+{
+    MountScan &ms = *mountScan_;
+    if (ms.block[chip] >= cfg_.blocksPerChip) {
+        if (--ms.chipsActive == 0)
+            finishMount();
+        return;
+    }
+    const std::uint32_t b = ms.block[chip];
+    const std::uint32_t p = ms.page[chip];
+    const std::uint64_t scratch =
+        gcScratchAddr_ + static_cast<std::uint64_t>(chip) * pageBytes_;
+
+    const obs::SpanId span = obs::trace().beginSpan(
+        obsTrack_, lblMount_, curTick(), obs::currentCtx(), chip);
+
+    FlashRequest req;
+    req.kind = FlashOpKind::OobRead;
+    req.chip = chip;
+    req.row = {0, b, p};
+    req.dramAddr = scratch;
+    req.ctx.span = span;
+    req.onComplete = [this, chip, b, p, scratch, span](OpResult r) {
+        obs::trace().endSpan(span, r.doneTick);
+        ++mountPagesScanned_;
+        MountScan &ms = *mountScan_;
+
+        std::vector<std::uint8_t> tail(oobBytes_);
+        backend_.backendDram().read(scratch, tail, curTick());
+
+        if (oobErased(tail)) {
+            // Unprogrammed page: the block's write frontier. Nothing
+            // past it can be programmed (NOP=1, in-order), so move on.
+            ++ms.block[chip];
+            ms.page[chip] = 0;
+        } else {
+            BlockInfo &bi = chips_[chip].blocks[b];
+            bi.written = p + 1;
+            if (auto rec = decodeOob(tail)) {
+                ms.maxSeq = std::max(ms.maxSeq, rec->seq);
+                ms.pageSeq[chip][b][p] = rec->seq;
+                if (rec->lpn < logicalPages_) {
+                    bi.pageLpn[p] = rec->lpn;
+                    // Highest seq wins. Equal seqs only happen when a
+                    // GC/WL move duplicated a copy and the crash landed
+                    // before the source was erased — the bytes are
+                    // identical, so any deterministic tie-break works.
+                    const std::uint64_t ppa = packPpa({chip, b, p});
+                    if (rec->seq > ms.bestSeq[rec->lpn] ||
+                        (rec->seq == ms.bestSeq[rec->lpn] &&
+                         ms.bestSeq[rec->lpn] != 0 &&
+                         ppa > ms.bestPpa[rec->lpn])) {
+                        ms.bestSeq[rec->lpn] = rec->seq;
+                        ms.bestPpa[rec->lpn] = ppa;
+                    }
+                }
+                bi.eraseCount = std::max(bi.eraseCount, rec->eraseCount);
+                if (rec->defectEntry != OobRecord::kNoDefect &&
+                    rec->defectEntry < cfg_.blocksPerChip) {
+                    ms.defect[chip][rec->defectEntry] = 1;
+                }
+            } else {
+                // Consumed but no copy of the record survives: a torn
+                // program. The page is dead; the LPN (whatever it was)
+                // keeps resolving to its previous copy.
+                ++mountTornPages_;
+            }
+            if (p + 1 < pagesPerBlock_) {
+                ++ms.page[chip];
+            } else {
+                ++ms.block[chip];
+                ms.page[chip] = 0;
+            }
+        }
+        mountScanNext(chip);
+    };
+    backend_.submit(std::move(req));
+}
+
+void
+PageFtl::finishMount()
+{
+    MountScan &ms = *mountScan_;
+
+    for (std::uint32_t c = 0; c < chips_.size(); ++c) {
+        ChipState &cs = chips_[c];
+        for (std::uint32_t b = 0; b < cfg_.blocksPerChip; ++b) {
+            BlockInfo &bi = cs.blocks[b];
+            bi.bad = ms.defect[c][b] != 0;
+            if (bi.written == 0) {
+                // Never programmed since its last erase. Its erase count
+                // is unrecoverable from OOB alone (the records went with
+                // the data) — it restarts at 0, a documented gap that
+                // only softens wear levelling, never correctness.
+                if (!bi.bad) {
+                    bi.erased = true;
+                    cs.freeBlocks.push_back(b);
+                }
+                continue;
+            }
+            // Partially or fully written: close the block. Reopening a
+            // half-written block after a crash is legal but a torn page
+            // below the frontier would violate NOP ordering, so the
+            // remainder is left dead for GC to reclaim.
+            bi.erased = true;
+            bi.written = pagesPerBlock_;
+            bi.programmed = pagesPerBlock_;
+            for (std::uint32_t p = 0; p < pagesPerBlock_; ++p) {
+                const std::uint64_t lpn = bi.pageLpn[p];
+                if (lpn == kUnmapped)
+                    continue;
+                if (ms.bestPpa[lpn] == packPpa({c, b, p}) &&
+                    ms.bestSeq[lpn] == ms.pageSeq[c][b][p]) {
+                    ++bi.valid;
+                } else {
+                    // A younger copy of this LPN exists elsewhere.
+                    bi.pageLpn[p] = kUnmapped;
+                }
+            }
+        }
+    }
+
+    for (std::uint64_t lpn = 0; lpn < logicalPages_; ++lpn) {
+        if (ms.bestSeq[lpn] != 0) {
+            map_[lpn] = ms.bestPpa[lpn];
+            mapSeq_[lpn] = ms.bestSeq[lpn];
+        }
+    }
+    seq_ = ms.maxSeq + 1;
+
+    Callback cb = std::move(ms.cb);
+    mountScan_.reset();
+    cb(true);
+}
+
+// ---------------------------------------------------------------------
+// Host I/O.
+// ---------------------------------------------------------------------
+
 void
 PageFtl::readPage(std::uint64_t lpn, std::uint64_t dram_addr, Callback cb)
 {
     babol_assert(lpn < logicalPages_, "LPN %llu out of range",
                  static_cast<unsigned long long>(lpn));
+
+    // The write buffer holds the freshest copy of anything in it. A
+    // slot being flushed may be shadowed by a younger non-flushing slot
+    // for the same LPN — prefer the younger one.
+    if (!wbSlots_.empty()) {
+        std::int32_t hit = -1;
+        for (std::uint32_t i = 0; i < wbSlots_.size(); ++i) {
+            if (wbSlots_[i].lpn != lpn)
+                continue;
+            hit = static_cast<std::int32_t>(i);
+            if (!wbSlots_[i].flushing)
+                break;
+        }
+        if (hit >= 0) {
+            ++hostReads_;
+            ++wbHits_;
+            std::vector<std::uint8_t> data(pageBytes_);
+            dram::DramBuffer &dram = backend_.backendDram();
+            dram.read(slotAddr(static_cast<std::uint32_t>(hit)), data,
+                      curTick());
+            dram.write(dram_addr, data, curTick());
+            scheduleIn(dram.transferTime(pageBytes_),
+                       [cb] { cb(true); }, "ftl buffered read");
+            return;
+        }
+    }
+
     if (map_[lpn] == kUnmapped) {
         warn("%s: read of unmapped LPN %llu", name().c_str(),
              static_cast<unsigned long long>(lpn));
@@ -167,33 +424,201 @@ PageFtl::writePage(std::uint64_t lpn, std::uint64_t dram_addr, Callback cb)
     babol_assert(lpn < logicalPages_, "LPN %llu out of range",
                  static_cast<unsigned long long>(lpn));
     ++hostWrites_;
+    if (!wbSlots_.empty()) {
+        bufferWrite(lpn, dram_addr, std::move(cb));
+        return;
+    }
+    const obs::SpanId span = obs::trace().beginSpan(
+        obsTrack_, lblWrite_, curTick(), obs::currentCtx(), lpn);
+    allocateAndWrite(lpn, dram_addr, std::move(cb), 0, span);
+}
+
+// ---------------------------------------------------------------------
+// Write buffer.
+// ---------------------------------------------------------------------
+
+std::uint64_t
+PageFtl::slotAddr(std::uint32_t slot) const
+{
+    return wbBase_ + static_cast<std::uint64_t>(slot) * pageBytes_;
+}
+
+std::uint32_t
+PageFtl::bufferedCount() const
+{
+    std::uint32_t n = 0;
+    for (const BufferSlot &s : wbSlots_)
+        if (s.lpn != kUnmapped && !s.flushing)
+            ++n;
+    return n;
+}
+
+void
+PageFtl::bufferWrite(std::uint64_t lpn, std::uint64_t dram_addr,
+                     Callback cb)
+{
+    dram::DramBuffer &dram = backend_.backendDram();
+
+    auto stage = [&](std::uint32_t slot) {
+        std::vector<std::uint8_t> data(pageBytes_);
+        dram.read(dram_addr, data, curTick());
+        dram.write(slotAddr(slot), data, curTick());
+    };
+
+    // Coalesce: a younger write to a buffered LPN overwrites in place;
+    // all stacked callbacks are acknowledged by the one program.
+    for (std::uint32_t i = 0; i < wbSlots_.size(); ++i) {
+        BufferSlot &s = wbSlots_[i];
+        if (s.lpn == lpn && !s.flushing) {
+            ++wbHits_;
+            stage(i);
+            s.cbs.push_back(std::move(cb));
+            return;
+        }
+    }
+
+    for (std::uint32_t i = 0; i < wbSlots_.size(); ++i) {
+        BufferSlot &s = wbSlots_[i];
+        if (s.lpn != kUnmapped || s.flushing)
+            continue;
+        stage(i);
+        s.lpn = lpn;
+        s.cbs.push_back(std::move(cb));
+        if (bufferedCount() >= wbSlots_.size()) {
+            flushBuffer();
+        } else if (!wbTimerArmed_) {
+            wbTimerArmed_ = true;
+            scheduleIn(cfg_.writeBufferFlushUs * ticks::perUs, [this] {
+                wbTimerArmed_ = false;
+                flushBuffer();
+            }, "ftl wb flush timer");
+        }
+        return;
+    }
+
+    // Every slot is pinned by an in-flight flush: write through. The
+    // host sees the same contract (ack at program completion).
     const obs::SpanId span = obs::trace().beginSpan(
         obsTrack_, lblWrite_, curTick(), obs::currentCtx(), lpn);
     allocateAndWrite(lpn, dram_addr, std::move(cb), 0, span);
 }
 
 void
+PageFtl::flushBuffer()
+{
+    for (std::uint32_t i = 0; i < wbSlots_.size(); ++i) {
+        BufferSlot &s = wbSlots_[i];
+        if (s.lpn == kUnmapped || s.flushing)
+            continue;
+        s.flushing = true;
+        ++wbFlushes_;
+        ++wbOutstanding_;
+        const obs::SpanId span = obs::trace().beginSpan(
+            obsTrack_, lblWrite_, curTick(), obs::currentCtx(), s.lpn);
+        allocateAndWrite(s.lpn, slotAddr(i), [this, i](bool ok) {
+            BufferSlot &slot = wbSlots_[i];
+            std::vector<Callback> cbs = std::move(slot.cbs);
+            slot.cbs.clear();
+            slot.lpn = kUnmapped;
+            slot.flushing = false;
+            --wbOutstanding_;
+            for (Callback &one : cbs)
+                one(ok);
+            if (wbFlushCb_) {
+                if (bufferedCount() != 0) {
+                    flushBuffer(); // writes coalesced in behind us
+                } else if (wbOutstanding_ == 0) {
+                    Callback done = std::move(wbFlushCb_);
+                    wbFlushCb_ = nullptr;
+                    done(true);
+                }
+            }
+        }, 0, span);
+    }
+}
+
+void
+PageFtl::flush(Callback cb)
+{
+    flushBuffer();
+    if (wbOutstanding_ == 0 && bufferedCount() == 0) {
+        eq_.scheduleIn(0, [cb] { cb(true); }, "ftl flush idle");
+        return;
+    }
+    babol_assert(!wbFlushCb_, "overlapping flush() calls");
+    wbFlushCb_ = std::move(cb);
+}
+
+// ---------------------------------------------------------------------
+// Allocation and programming.
+// ---------------------------------------------------------------------
+
+void
 PageFtl::allocateAndWrite(std::uint64_t lpn, std::uint64_t dram_addr,
                           Callback cb, std::uint32_t retries,
-                          obs::SpanId span)
+                          obs::SpanId span, OobState state,
+                          std::uint64_t move_seq)
 {
     std::uint32_t chip = writeCursor_ % chips_.size();
     writeCursor_ = (writeCursor_ + 1) %
                    static_cast<std::uint32_t>(chips_.size());
-    chips_[chip].writeQueue.push_back(
-        {lpn, dram_addr, std::move(cb), retries, span});
+    PendingWrite pw;
+    pw.lpn = lpn;
+    pw.dramAddr = dram_addr;
+    pw.cb = std::move(cb);
+    pw.retries = retries;
+    pw.state = state;
+    // The seq is drawn HERE, at enqueue, not when the per-chip queue
+    // pumps: two generations of one LPN can land on different chips,
+    // and a busier chip pumping later must not hand the older
+    // generation a younger seq (that inversion would let the stale
+    // copy win both the live map and mount-time arbitration).
+    pw.moveSeq = move_seq != 0 ? move_seq : seq_++;
+    pw.span = span;
+    chips_[chip].writeQueue.push_back(std::move(pw));
     pumpWrites(chip);
 }
 
+/** Could a GC pass reclaim space on @p chip right now — is one already
+ *  running (or an erase landing), or does a closed block with dead
+ *  pages exist? Decides whether the last free block is worth holding
+ *  back as the GC reserve. */
 bool
-PageFtl::ensureActiveBlock(std::uint32_t chip)
+PageFtl::gcReclaimable(std::uint32_t chip) const
+{
+    const ChipState &cs = chips_[chip];
+    if (cs.gcInProgress || cs.wlInProgress || cs.erasePending)
+        return true;
+    for (std::uint32_t b = 0; b < cs.blocks.size(); ++b) {
+        if (static_cast<std::int32_t>(b) == cs.activeBlock)
+            continue;
+        const BlockInfo &bi = cs.blocks[b];
+        if (!bi.bad && bi.erased && bi.programmed >= pagesPerBlock_ &&
+            bi.valid < pagesPerBlock_) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+PageFtl::ensureActiveBlock(std::uint32_t chip, bool for_move)
 {
     ChipState &cs = chips_[chip];
     if (cs.activeBlock >= 0 &&
         cs.blocks[cs.activeBlock].written < pagesPerBlock_) {
-        return true;
+        // An active block carved from the reserve serves moves only:
+        // host writes filling it would strand the migration's
+        // remaining pages.
+        return for_move || !cs.activeReserved;
     }
     if (cs.freeBlocks.empty())
+        return false;
+    // The GC reserve: host writes never take the last free block while
+    // garbage collection could still turn it back into two — otherwise
+    // a deep host queue eats the block GC needs for its moves and the
+    // chip deadlocks with every page programmed.
+    if (!for_move && cs.freeBlocks.size() == 1 && gcReclaimable(chip))
         return false;
 
     // Dynamic wear levelling: take the coldest free block.
@@ -204,6 +629,8 @@ PageFtl::ensureActiveBlock(std::uint32_t chip)
     }
     cs.activeBlock = static_cast<std::int32_t>(*best);
     cs.freeBlocks.erase(best);
+    cs.activeReserved = for_move && cs.freeBlocks.empty() &&
+                        (cs.gcInProgress || cs.wlInProgress);
     return true;
 }
 
@@ -219,6 +646,9 @@ PageFtl::retireBlock(std::uint32_t chip, std::uint32_t block)
     bi.bad = true;
     bi.erased = false;
     ++retired_;
+    // Journal the retirement: the entry rides out to flash in the OOB
+    // record of this chip's next program, making it mount-recoverable.
+    cs.defectJournal.push_back(block);
     backend_.backendFaults().noteRemap(name(), chip, block, curTick());
     if (cs.activeBlock == static_cast<std::int32_t>(block))
         cs.activeBlock = -1;
@@ -257,6 +687,7 @@ PageFtl::startEraseBeforeUse(std::uint32_t chip, std::uint32_t block)
             std::fill(bi.pageLpn.begin(), bi.pageLpn.end(), kUnmapped);
         }
         pumpWrites(chip);
+        maybeStartWearLevel(chip);
     };
     backend_.submit(std::move(req));
 }
@@ -266,13 +697,70 @@ PageFtl::pumpWrites(std::uint32_t chip)
 {
     ChipState &cs = chips_[chip];
     while (!cs.writeQueue.empty()) {
-        if (!ensureActiveBlock(chip)) {
-            if (!cs.gcInProgress && !cs.erasePending) {
-                fatal("%s: chip %u out of free blocks (GC could not keep "
-                      "up — raise over-provisioning)",
-                      name().c_str(), chip);
+        // Host writes honour the GC reserve; GC/WL moves may take the
+        // last free block — their erase is what turns it back into two.
+        std::size_t pick = 0;
+        if (!ensureActiveBlock(chip, cs.writeQueue.front().state !=
+                                         OobState::HostWrite)) {
+            // The head can't go. A move deeper in the queue still can
+            // when only the reserve is left: a head-of-line host write
+            // must not starve the very GC it is waiting on.
+            pick = cs.writeQueue.size();
+            for (std::size_t i = 1; i < cs.writeQueue.size(); ++i) {
+                if (cs.writeQueue[i].state != OobState::HostWrite) {
+                    pick = i;
+                    break;
+                }
             }
-            return; // GC or an erase will re-pump
+            if (pick < cs.writeQueue.size() &&
+                !ensureActiveBlock(chip, true)) {
+                pick = cs.writeQueue.size();
+            }
+            if (pick == cs.writeQueue.size()) {
+                maybeStartGc(chip);
+                // A migration whose move is parked right here in this
+                // queue has nothing in flight — no completion is coming
+                // to re-pump it, and space only ever appears through
+                // the erase that move is blocking.
+                bool move_waiting = false;
+                for (const PendingWrite &w : cs.writeQueue) {
+                    if (w.state != OobState::HostWrite) {
+                        move_waiting = true;
+                        break;
+                    }
+                }
+                if (cs.erasePending ||
+                    (!move_waiting &&
+                     (cs.gcInProgress || cs.wlInProgress))) {
+                    return; // a completion will re-pump
+                }
+                if (!move_waiting) {
+                    fatal("%s: chip %u out of free blocks (GC could "
+                          "not keep up — raise over-provisioning)",
+                          name().c_str(), chip);
+                }
+                // End of life: every page on the chip is programmed and
+                // the migration has nowhere to relocate into. Fail the
+                // queued host writes rather than hanging them forever.
+                // Parked moves stay: failing one would let the victim
+                // be erased with valid data still aboard.
+                warn("%s: chip %u out of relocatable space (end of "
+                     "life); failing queued host writes",
+                     name().c_str(), chip);
+                for (std::size_t i = 0; i < cs.writeQueue.size();) {
+                    if (cs.writeQueue[i].state != OobState::HostWrite) {
+                        ++i;
+                        continue;
+                    }
+                    PendingWrite dead = std::move(cs.writeQueue[i]);
+                    cs.writeQueue.erase(
+                        cs.writeQueue.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+                    obs::trace().endSpan(dead.span, curTick());
+                    dead.cb(false);
+                }
+                return;
+            }
         }
         auto block = static_cast<std::uint32_t>(cs.activeBlock);
         BlockInfo &bi = cs.blocks[block];
@@ -281,33 +769,66 @@ PageFtl::pumpWrites(std::uint32_t chip)
             return; // resume when the erase lands
         }
 
-        PendingWrite write = std::move(cs.writeQueue.front());
-        cs.writeQueue.pop_front();
+        PendingWrite write = std::move(cs.writeQueue[pick]);
+        cs.writeQueue.erase(cs.writeQueue.begin() +
+                            static_cast<std::ptrdiff_t>(pick));
 
         std::uint32_t page = bi.written++;
         bi.pageLpn[page] = write.lpn;
         ++bi.valid;
+
+        // The OOB record travels in the same array commit as the data:
+        // a power cut either lands both or tears both.
+        OobRecord rec;
+        rec.lpn = write.lpn;
+        rec.seq = write.moveSeq;
+        rec.eraseCount = bi.eraseCount;
+        rec.state = write.state;
+        if (!cs.defectJournal.empty()) {
+            rec.defectEntry = cs.defectJournal.front();
+            cs.defectJournal.pop_front();
+        }
+        const std::uint64_t wseq = rec.seq;
+        const std::uint32_t journalled = rec.defectEntry;
 
         FlashRequest req;
         req.kind = FlashOpKind::Program;
         req.chip = chip;
         req.row = {0, block, page};
         req.dramAddr = write.dramAddr;
+        req.oob = encodeOob(rec, oobBytes_);
         req.ctx.span = write.span;
-        req.onComplete = [this, chip, block, page,
+        req.onComplete = [this, chip, block, page, wseq, journalled,
                           write = std::move(write)](OpResult r) mutable {
             BlockInfo &info = chips_[chip].blocks[block];
             ++info.programmed;
             if (r.ok) {
-                invalidate(write.lpn);
-                map_[write.lpn] = packPpa({chip, block, page});
+                // '>=': a GC/WL move reuses the seq of the copy it
+                // relocates, so equality means "same generation, new
+                // home" — install. Anything strictly older lost to a
+                // younger write that completed first.
+                if (wseq >= mapSeq_[write.lpn]) {
+                    invalidate(write.lpn);
+                    map_[write.lpn] = packPpa({chip, block, page});
+                    mapSeq_[write.lpn] = wseq;
+                } else {
+                    // A younger write to the same LPN completed first
+                    // (cross-chip reorder): this copy is durable but
+                    // already stale — exactly what the mount-time seq
+                    // arbitration would conclude.
+                    info.pageLpn[page] = kUnmapped;
+                    --info.valid;
+                }
                 obs::trace().endSpan(write.span, r.doneTick);
                 write.cb(true);
             } else {
                 // Program failure: drop the reservation, retire the
-                // block, and re-route the write elsewhere.
+                // block, and re-route the write elsewhere. A journal
+                // entry that rode this OOB never landed — requeue it.
                 info.pageLpn[page] = kUnmapped;
                 --info.valid;
+                if (journalled != OobRecord::kNoDefect)
+                    chips_[chip].defectJournal.push_front(journalled);
                 retireBlock(chip, block);
                 if (write.retries + 1 > cfg_.maxWriteRetries) {
                     warn("%s: write of LPN %llu failed %u times; giving "
@@ -318,9 +839,14 @@ PageFtl::pumpWrites(std::uint32_t chip)
                     obs::trace().endSpan(write.span, r.doneTick);
                     write.cb(false);
                 } else {
+                    // The retry keeps the original seq: it is the same
+                    // generation, merely rerouted — drawing a fresh one
+                    // would let a rerouted GC move outrank a host
+                    // overwrite issued in between.
                     allocateAndWrite(write.lpn, write.dramAddr,
                                      std::move(write.cb),
-                                     write.retries + 1, write.span);
+                                     write.retries + 1, write.span,
+                                     write.state, write.moveSeq);
                 }
             }
             maybeStartGc(chip);
@@ -342,12 +868,18 @@ PageFtl::invalidate(std::uint64_t lpn)
     map_[lpn] = kUnmapped;
 }
 
+// ---------------------------------------------------------------------
+// Background moves: garbage collection and static wear levelling.
+// ---------------------------------------------------------------------
+
 void
 PageFtl::maybeStartGc(std::uint32_t chip)
 {
     ChipState &cs = chips_[chip];
-    if (cs.gcInProgress || cs.freeBlocks.size() >= cfg_.gcLowWater)
+    if (cs.gcInProgress || cs.wlInProgress ||
+        cs.freeBlocks.size() >= cfg_.gcLowWater) {
         return;
+    }
 
     // Greedy victim selection: the fully-programmed block with the
     // fewest valid pages (never the active block, never a bad one).
@@ -371,15 +903,64 @@ PageFtl::maybeStartGc(std::uint32_t chip)
 
     cs.gcInProgress = true;
     ++gcRuns_;
-    gcMoveNext(chip, static_cast<std::uint32_t>(victim), 0);
+    moveNext(chip, static_cast<std::uint32_t>(victim), 0,
+             OobState::GcMove);
 }
 
 void
-PageFtl::gcMoveNext(std::uint32_t chip, std::uint32_t victim,
-                    std::uint32_t page)
+PageFtl::maybeStartWearLevel(std::uint32_t chip)
+{
+    if (cfg_.wearSpreadThreshold == 0)
+        return;
+    ChipState &cs = chips_[chip];
+    // Never compete with GC: static WL is a background activity. It may
+    // run right at the GC low-water mark though — on small chips the
+    // steady-state pool never rises above it, and a WL migration
+    // returns its victim to the pool just like a GC run does.
+    if (cs.gcInProgress || cs.wlInProgress ||
+        cs.freeBlocks.size() < cfg_.gcLowWater) {
+        return;
+    }
+    if (wearSpread(chip) <= cfg_.wearSpreadThreshold)
+        return;
+
+    // Coldest closed block holding valid data: its content has sat
+    // still while the rest of the chip cycled. Moving it out retires
+    // the imbalance at its source.
+    std::int32_t victim = -1;
+    std::uint32_t coldest = ~0u;
+    for (std::uint32_t b = 0; b < cs.blocks.size(); ++b) {
+        if (static_cast<std::int32_t>(b) == cs.activeBlock)
+            continue;
+        const BlockInfo &bi = cs.blocks[b];
+        if (bi.bad || !bi.erased || bi.programmed < pagesPerBlock_ ||
+            bi.valid == 0) {
+            continue;
+        }
+        if (bi.eraseCount < coldest) {
+            coldest = bi.eraseCount;
+            victim = static_cast<std::int32_t>(b);
+        }
+    }
+    if (victim < 0 || coldest + cfg_.wearSpreadThreshold >=
+                          maxEraseCount(chip)) {
+        return;
+    }
+
+    cs.wlInProgress = true;
+    ++wlRuns_;
+    moveNext(chip, static_cast<std::uint32_t>(victim), 0,
+             OobState::WlMove);
+}
+
+void
+PageFtl::moveNext(std::uint32_t chip, std::uint32_t victim,
+                  std::uint32_t page, OobState mode)
 {
     ChipState &cs = chips_[chip];
     BlockInfo &bi = cs.blocks[victim];
+    const std::uint64_t scratch =
+        gcScratchAddr_ + static_cast<std::uint64_t>(chip) * pageBytes_;
 
     // Skip invalid pages.
     while (page < pagesPerBlock_ && bi.pageLpn[page] == kUnmapped)
@@ -392,9 +973,13 @@ PageFtl::gcMoveNext(std::uint32_t chip, std::uint32_t victim,
         req.kind = FlashOpKind::Erase;
         req.chip = chip;
         req.row = {0, victim, 0};
-        req.onComplete = [this, chip, victim](OpResult r) {
+        req.onComplete = [this, chip, victim, mode](OpResult r) {
             ChipState &state = chips_[chip];
             BlockInfo &info = state.blocks[victim];
+            if (mode == OobState::WlMove)
+                state.wlInProgress = false;
+            else
+                state.gcInProgress = false;
             if (r.ok) {
                 info.erased = true;
                 ++info.eraseCount;
@@ -404,40 +989,66 @@ PageFtl::gcMoveNext(std::uint32_t chip, std::uint32_t victim,
                 std::fill(info.pageLpn.begin(), info.pageLpn.end(),
                           kUnmapped);
                 state.freeBlocks.push_back(victim);
+                // The migration paid off: whatever room is left in a
+                // reserve-carved active block is the host's again.
+                state.activeReserved = false;
             } else {
                 retireBlock(chip, victim);
             }
-            state.gcInProgress = false;
             maybeStartGc(chip);
+            // A failed erase never returned the victim to the pool. If
+            // a follow-up migration just started, keep holding a
+            // reserve-carved active block for its moves — releasing it
+            // here lets the host fill the last pages on the chip and
+            // wedge it with no free page to relocate anything into.
+            if (!state.gcInProgress && !state.wlInProgress)
+                state.activeReserved = false;
             pumpWrites(chip);
+            maybeStartWearLevel(chip);
         };
         backend_.submit(std::move(req));
         return;
     }
 
-    // Relocate one page: read into the scratch buffer, rewrite at the
-    // current write frontier, continue with the next page.
+    // Relocate one page: read into the chip's staging page, rewrite at
+    // the current write frontier, continue with the next page. The
+    // rewrite carries the copy's original seq (see PendingWrite), so a
+    // host overwrite racing the move always wins.
     std::uint64_t lpn = bi.pageLpn[page];
-    ++gcPageMoves_;
+    std::uint64_t move_seq = mapSeq_[lpn];
+    if (mode == OobState::WlMove)
+        ++wlPageMoves_;
+    else
+        ++gcPageMoves_;
     FlashRequest req;
     req.kind = FlashOpKind::Read;
     req.chip = chip;
     req.row = {0, victim, page};
-    req.dramAddr = gcScratchAddr_;
-    req.onComplete = [this, chip, victim, page, lpn](OpResult r) {
-        if (!r.ok) {
-            warn("%s: GC read of block %u page %u failed; data lost",
-                 name().c_str(), victim, page);
-            invalidate(lpn);
-            gcMoveNext(chip, victim, page + 1);
+    req.dramAddr = scratch;
+    req.onComplete = [this, chip, victim, page, lpn, scratch, mode,
+                      move_seq](OpResult r) {
+        if (chips_[chip].blocks[victim].pageLpn[page] != lpn) {
+            // Invalidated by a host overwrite while the read was in
+            // flight: nothing left to move.
+            moveNext(chip, victim, page + 1, mode);
             return;
         }
-        allocateAndWrite(lpn, gcScratchAddr_, [this, chip, victim,
-                                               page](bool ok) {
+        if (!r.ok) {
+            warn("%s: %s read of block %u page %u failed; data lost",
+                 name().c_str(),
+                 mode == OobState::WlMove ? "WL" : "GC", victim, page);
+            if (map_[lpn] == packPpa({chip, victim, page}))
+                invalidate(lpn);
+            moveNext(chip, victim, page + 1, mode);
+            return;
+        }
+        allocateAndWrite(lpn, scratch, [this, chip, victim, page,
+                                        mode](bool ok) {
             if (!ok)
-                warn("%s: GC rewrite failed", name().c_str());
-            gcMoveNext(chip, victim, page + 1);
-        });
+                warn("%s: %s rewrite failed", name().c_str(),
+                     mode == OobState::WlMove ? "WL" : "GC");
+            moveNext(chip, victim, page + 1, mode);
+        }, 0, obs::kNoSpan, mode, move_seq);
     };
     backend_.submit(std::move(req));
 }

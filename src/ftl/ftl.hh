@@ -10,9 +10,17 @@
  *  - erase-before-use block management with per-chip write queues,
  *  - greedy garbage collection (min-valid victim),
  *  - dynamic wear levelling (allocation prefers the coldest free
- *    block), and
+ *    block) plus optional static wear levelling (cold valid data is
+ *    migrated off low-erase-count blocks when the wear spread exceeds
+ *    a threshold),
+ *  - an optional DRAM write buffer that coalesces bursty writes and
+ *    acknowledges them only once the flash program commits,
  *  - bad-block retirement: blocks whose erase or program fails are
- *    taken out of service and in-flight writes re-routed.
+ *    taken out of service and in-flight writes re-routed, and
+ *  - crash recovery: every program carries an OOB record (see oob.hh)
+ *    and mount() rebuilds the entire mapping state by scanning those
+ *    records back through the real channel path — no side-channel
+ *    tables survive a power cycle, because on a real device none do.
  *
  * It runs on any FlashBackend — a single channel controller or a
  * multi-channel Ssd.
@@ -24,17 +32,20 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/flash_backend.hh"
+#include "ftl/oob.hh"
 #include "obs/hub.hh"
 #include "sim/sim_object.hh"
 
 namespace babol::ftl {
 
 /** One grown-defect entry: a block retired after a program or erase
- *  failure. The table is what survives a power cycle — export it at
- *  shutdown, feed it back through FtlConfig at the next mount. */
+ *  failure. The table is durable on flash — retirements are journalled
+ *  through the OOB records of subsequent programs and rebuilt by
+ *  mount(); this struct is export-only introspection. */
 struct GrownDefect
 {
     std::uint32_t chip = 0;
@@ -55,9 +66,25 @@ struct FtlConfig
     /** Give up on a host write after this many bad-block reroutes. */
     std::uint32_t maxWriteRetries = 3;
 
-    /** Grown defects known from a previous mount: marked bad up front
-     *  and never allocated (they consume over-provisioning). */
-    std::vector<GrownDefect> grownDefects;
+    /**
+     * DRAM write-buffer slots (0 = write-through, the historical
+     * behaviour). Buffered writes coalesce by LPN and are acknowledged
+     * only when their flash program commits — a power cut may lose
+     * buffered-but-unacknowledged data, never acknowledged data.
+     */
+    std::uint32_t writeBufferPages = 0;
+
+    /** Flush a non-empty write buffer after this long even if it never
+     *  fills (µs of simulated time). */
+    std::uint64_t writeBufferFlushUs = 200;
+
+    /**
+     * Static wear levelling: when a chip's erase-count spread
+     * (max − min over live blocks) exceeds this, migrate the coldest
+     * block's valid data so the block re-enters the free pool.
+     * 0 disables static WL (dynamic WL still applies).
+     */
+    std::uint32_t wearSpreadThreshold = 0;
 };
 
 /** A physical page address. */
@@ -75,17 +102,32 @@ class PageFtl : public SimObject
 
     PageFtl(EventQueue &eq, const std::string &name,
             core::FlashBackend &backend, FtlConfig cfg = {});
+    ~PageFtl(); // out of line: MountScan is incomplete here
 
     /** Logical pages this FTL exposes. */
     std::uint64_t logicalPages() const { return logicalPages_; }
 
     std::uint32_t pageBytes() const { return pageBytes_; }
 
+    /**
+     * Rebuild the mapping state from the per-page OOB records: the L2P
+     * map, valid bitmaps, erase counts, and the grown-defect table.
+     * Every page is fetched with a real OOB_READ through the channel —
+     * the scan costs simulated time and energy like any other I/O.
+     * Call on a freshly constructed FTL before any host traffic; @p cb
+     * fires when the scan completes.
+     */
+    void mount(Callback cb);
+
     /** Read one logical page into DRAM at @p dram_addr. */
     void readPage(std::uint64_t lpn, std::uint64_t dram_addr, Callback cb);
 
     /** Write one logical page from DRAM at @p dram_addr. */
     void writePage(std::uint64_t lpn, std::uint64_t dram_addr, Callback cb);
+
+    /** Force the write buffer out to flash; @p cb fires once every
+     *  previously buffered write has been acknowledged. */
+    void flush(Callback cb);
 
     /** True when the LPN has ever been written. */
     bool isMapped(std::uint64_t lpn) const;
@@ -98,16 +140,23 @@ class PageFtl : public SimObject
     std::uint64_t hostWrites() const { return hostWrites_; }
     std::uint64_t gcRuns() const { return gcRuns_; }
     std::uint64_t gcPageMoves() const { return gcPageMoves_; }
+    std::uint64_t wearLevelRuns() const { return wlRuns_; }
+    std::uint64_t wearLevelPageMoves() const { return wlPageMoves_; }
     std::uint64_t erasesIssued() const { return erases_; }
     std::uint64_t blocksRetired() const { return retired_; }
+    std::uint64_t mountPagesScanned() const { return mountPagesScanned_; }
+    std::uint64_t mountTornPages() const { return mountTornPages_; }
+    std::uint64_t writeBufferHits() const { return wbHits_; }
+    std::uint64_t writeBufferFlushes() const { return wbFlushes_; }
 
-    /** The current grown-defect table: every bad block, both imported
+    /** The current grown-defect table: every bad block, both recovered
      *  ones and those retired during this mount. */
     std::vector<GrownDefect> exportGrownDefects() const;
 
     /** Spread of per-block erase counts on a chip (wear levelling). */
     std::uint32_t maxEraseCount(std::uint32_t chip) const;
     std::uint32_t minFreeEraseCount(std::uint32_t chip) const;
+    std::uint32_t wearSpread(std::uint32_t chip) const;
 
   private:
     static constexpr std::uint64_t kUnmapped = ~std::uint64_t(0);
@@ -129,6 +178,16 @@ class PageFtl : public SimObject
         std::uint64_t dramAddr;
         Callback cb;
         std::uint32_t retries = 0;
+        OobState state = OobState::HostWrite;
+
+        /** The write's sequence number, fixed at enqueue time so seq
+         *  order equals host-issue order even when generations of one
+         *  LPN queue on different chips. Host writes draw a fresh seq;
+         *  GC/WL moves reuse the seq of the copy being relocated, so a
+         *  concurrent host overwrite (which holds a younger seq) beats
+         *  the move both in the live map and in mount-time arbitration
+         *  — a move can never resurrect stale data. */
+        std::uint64_t moveSeq = 0;
 
         /** FTL-write span; stays open across program retries. */
         obs::SpanId span = obs::kNoSpan;
@@ -142,39 +201,96 @@ class PageFtl : public SimObject
         std::int32_t activeBlock = -1;
         bool erasePending = false;
         bool gcInProgress = false;
+        bool wlInProgress = false;
+        /** The active block was carved from the last free block for a
+         *  GC/WL move: host writes keep out until the migration's
+         *  erase replenishes the pool, or the moves themselves would
+         *  run out of pages. */
+        bool activeReserved = false;
+
+        /** Blocks retired but not yet journalled to flash: each entry
+         *  rides in the OOB record of the chip's next program. */
+        std::deque<std::uint32_t> defectJournal;
     };
+
+    /** One write-buffer slot (a page-sized DRAM staging region). */
+    struct BufferSlot
+    {
+        std::uint64_t lpn = kUnmapped;
+        bool flushing = false; //!< program in flight; slot pinned
+        std::vector<Callback> cbs;
+    };
+
+    /** Transient per-mount scan state (freed when the scan finishes). */
+    struct MountScan;
 
     void allocateAndWrite(std::uint64_t lpn, std::uint64_t dram_addr,
                           Callback cb, std::uint32_t retries = 0,
-                          obs::SpanId span = obs::kNoSpan);
+                          obs::SpanId span = obs::kNoSpan,
+                          OobState state = OobState::HostWrite,
+                          std::uint64_t move_seq = 0);
     void pumpWrites(std::uint32_t chip);
-    bool ensureActiveBlock(std::uint32_t chip);
+    bool ensureActiveBlock(std::uint32_t chip, bool for_move = false);
+    bool gcReclaimable(std::uint32_t chip) const;
     void startEraseBeforeUse(std::uint32_t chip, std::uint32_t block);
     void retireBlock(std::uint32_t chip, std::uint32_t block);
     void maybeStartGc(std::uint32_t chip);
-    void gcMoveNext(std::uint32_t chip, std::uint32_t victim,
-                    std::uint32_t page);
+    void maybeStartWearLevel(std::uint32_t chip);
+    void moveNext(std::uint32_t chip, std::uint32_t victim,
+                  std::uint32_t page, OobState mode);
     void invalidate(std::uint64_t lpn);
+
+    // Write-buffer plumbing.
+    std::uint64_t slotAddr(std::uint32_t slot) const;
+    void bufferWrite(std::uint64_t lpn, std::uint64_t dram_addr,
+                     Callback cb);
+    void flushBuffer();
+    std::uint32_t bufferedCount() const;
+
+    // Mount plumbing.
+    void mountScanNext(std::uint32_t chip);
+    void finishMount();
 
     core::FlashBackend &backend_;
     FtlConfig cfg_;
     std::uint32_t pageBytes_;
     std::uint32_t pagesPerBlock_;
+    std::uint32_t oobBytes_;
     std::uint64_t logicalPages_;
 
     std::vector<std::uint64_t> map_; //!< lpn -> packed ppa or kUnmapped
+    std::vector<std::uint64_t> mapSeq_; //!< seq that installed map_[lpn]
     std::vector<ChipState> chips_;
     std::uint32_t writeCursor_ = 0; //!< round-robin chip for striping
 
-    /** Scratch DRAM region for GC page moves (top of the buffer). */
+    /** Global program sequence number (ties broken by construction:
+     *  every program gets a fresh one; mount resumes past the max). */
+    std::uint64_t seq_ = 1;
+
+    /** Scratch DRAM region for GC/WL page moves (top of the buffer). */
     std::uint64_t gcScratchAddr_;
+
+    // Write buffer state.
+    std::vector<BufferSlot> wbSlots_;
+    std::uint64_t wbBase_ = 0; //!< DRAM address of slot 0
+    bool wbTimerArmed_ = false;
+    Callback wbFlushCb_; //!< pending flush() waiter
+    std::uint32_t wbOutstanding_ = 0; //!< slots mid-program
+
+    std::unique_ptr<MountScan> mountScan_;
 
     std::uint64_t hostReads_ = 0;
     std::uint64_t hostWrites_ = 0;
     std::uint64_t gcRuns_ = 0;
     std::uint64_t gcPageMoves_ = 0;
+    std::uint64_t wlRuns_ = 0;
+    std::uint64_t wlPageMoves_ = 0;
     std::uint64_t erases_ = 0;
     std::uint64_t retired_ = 0;
+    std::uint64_t mountPagesScanned_ = 0;
+    std::uint64_t mountTornPages_ = 0;
+    std::uint64_t wbHits_ = 0;
+    std::uint64_t wbFlushes_ = 0;
 
     std::uint64_t packPpa(const Ppa &p) const;
     Ppa unpackPpa(std::uint64_t packed) const;
@@ -182,6 +298,7 @@ class PageFtl : public SimObject
     std::uint32_t obsTrack_ = 0;
     std::uint32_t lblRead_ = 0;
     std::uint32_t lblWrite_ = 0;
+    std::uint32_t lblMount_ = 0;
 
     /** Last member: deregisters before the stats it references die. */
     obs::MetricsGroup metrics_;

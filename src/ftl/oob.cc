@@ -1,0 +1,113 @@
+#include "oob.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace babol::ftl {
+
+std::uint32_t
+oobCrc32(std::span<const std::uint8_t> bytes)
+{
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::uint8_t b : bytes) {
+        crc ^= b;
+        for (int i = 0; i < 8; ++i)
+            crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+    return ~crc;
+}
+
+namespace {
+
+void
+put32(std::uint8_t *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void
+put64(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t
+get32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+std::uint64_t
+get64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+constexpr std::uint8_t kMagic = 0xB5;
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeOob(const OobRecord &rec, std::uint32_t oobBytes)
+{
+    babol_assert(oobBytes >= kOobCopies * kOobRecordBytes,
+                 "OOB tail too small for %u record copies", kOobCopies);
+    std::vector<std::uint8_t> out(oobBytes, 0xFF);
+
+    std::uint8_t copy[kOobRecordBytes];
+    std::fill(std::begin(copy), std::end(copy), 0xFF);
+    copy[0] = kMagic;
+    copy[1] = static_cast<std::uint8_t>(rec.state);
+    put64(&copy[2], rec.lpn);
+    put64(&copy[10], rec.seq);
+    put32(&copy[18], rec.eraseCount);
+    put32(&copy[22], rec.defectEntry);
+    put32(&copy[28], oobCrc32({copy, 28}));
+
+    for (std::uint32_t c = 0; c < kOobCopies; ++c)
+        std::copy(std::begin(copy), std::end(copy),
+                  out.begin() + c * kOobRecordBytes);
+    return out;
+}
+
+std::optional<OobRecord>
+decodeOob(std::span<const std::uint8_t> bytes)
+{
+    for (std::uint32_t c = 0; c < kOobCopies; ++c) {
+        if ((c + 1) * kOobRecordBytes > bytes.size())
+            break;
+        const std::uint8_t *p = bytes.data() + c * kOobRecordBytes;
+        if (p[0] != kMagic)
+            continue;
+        if (oobCrc32({p, 28}) != get32(&p[28]))
+            continue;
+        OobRecord rec;
+        rec.state = static_cast<OobState>(p[1]);
+        rec.lpn = get64(&p[2]);
+        rec.seq = get64(&p[10]);
+        rec.eraseCount = get32(&p[18]);
+        rec.defectEntry = get32(&p[22]);
+        return rec;
+    }
+    return std::nullopt;
+}
+
+bool
+oobErased(std::span<const std::uint8_t> bytes)
+{
+    for (std::uint8_t b : bytes)
+        if (b != 0xFF)
+            return false;
+    return true;
+}
+
+} // namespace babol::ftl

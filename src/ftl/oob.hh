@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Per-page out-of-band record: the FTL's on-flash metadata.
+ *
+ * Every PAGE PROGRAM carries a small record in the page's OOB tail
+ * (past the ECC spare area), written atomically with the payload by the
+ * same array commit. On mount the FTL reads these records back — raw,
+ * no ECC — and reconstructs the entire logical-to-physical state from
+ * flash alone: the L2P map, valid bitmaps, per-block erase counts, and
+ * the grown-defect table.
+ *
+ * The OOB path deliberately bypasses the ECC engine (the mount scan
+ * must not depend on the very metadata it is rebuilding), so the record
+ * protects itself: the 96-byte tail holds THREE copies of a 32-byte
+ * CRC-guarded record. A raw bit flip can corrupt one copy; only a torn
+ * page — a program cut mid-flight by a power loss — leaves all three
+ * invalid. Redundant-copy-with-checksum is the same idiom ONFI uses for
+ * the parameter page.
+ *
+ * Record layout (little-endian, 32 bytes per copy):
+ *
+ *   off  size  field
+ *   0    1     magic (0xB5)
+ *   1    1     state: 1 = host write, 2 = GC move, 3 = wear-level move
+ *   2    8     lpn
+ *   10   8     seq (global program sequence number; highest wins)
+ *   18   4     eraseCount of the containing block at program time
+ *   22   4     defect journal entry: chip-local id of a block retired as
+ *              a grown defect, or 0xFFFFFFFF for none. Piggybacked on
+ *              the next program of the same chip after a retirement.
+ *   26   2     0xFF pad
+ *   28   4     CRC-32 (poly 0xEDB88320) over bytes 0..27
+ */
+
+#ifndef BABOL_FTL_OOB_HH
+#define BABOL_FTL_OOB_HH
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace babol::ftl {
+
+/** Why a page was written — recovered verbatim on mount. */
+enum class OobState : std::uint8_t {
+    HostWrite = 1,
+    GcMove = 2,
+    WlMove = 3,
+};
+
+/** One page's OOB metadata, in decoded form. */
+struct OobRecord
+{
+    std::uint64_t lpn = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t eraseCount = 0;
+    /** Chip-local block id retired as a grown defect, or kNoDefect. */
+    std::uint32_t defectEntry = kNoDefect;
+    OobState state = OobState::HostWrite;
+
+    static constexpr std::uint32_t kNoDefect = 0xFFFFFFFFu;
+};
+
+/** Bytes per record copy and copies per page tail. */
+constexpr std::uint32_t kOobRecordBytes = 32;
+constexpr std::uint32_t kOobCopies = 3;
+
+/** CRC-32 (reflected, poly 0xEDB88320) of @p bytes, init/final ~0. */
+std::uint32_t oobCrc32(std::span<const std::uint8_t> bytes);
+
+/**
+ * Encode @p rec as kOobCopies identical CRC-guarded copies, sized for a
+ * geometry whose pageOobBytes >= kOobCopies * kOobRecordBytes (any
+ * excess is 0xFF-padded).
+ */
+std::vector<std::uint8_t> encodeOob(const OobRecord &rec,
+                                    std::uint32_t oobBytes);
+
+/**
+ * Decode a raw OOB tail. Returns the first copy whose magic and CRC
+ * check out, or nullopt when no copy survives — which means either an
+ * unprogrammed page (all-FF; see oobErased()) or a torn program.
+ */
+std::optional<OobRecord> decodeOob(std::span<const std::uint8_t> bytes);
+
+/** True when the tail is all-FF: the page was never programmed. */
+bool oobErased(std::span<const std::uint8_t> bytes);
+
+} // namespace babol::ftl
+
+#endif // BABOL_FTL_OOB_HH

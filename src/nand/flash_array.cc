@@ -172,4 +172,46 @@ FlashArray::agePeCycles(std::uint32_t block, std::uint32_t cycles)
     blocks_[block].peCycles += cycles;
 }
 
+void
+FlashArray::tearPage(std::uint32_t block, std::uint32_t page)
+{
+    checkPage(block, page);
+    BlockState &bs = blocks_[block];
+    if (pages_.count(pageKey(block, page)) || page != bs.nextPage)
+        return;
+
+    // Deterministic garbage keyed by location and wear: crash campaigns
+    // must replay byte-identically, so the torn image cannot come from
+    // the array's shared RNG stream (whose phase depends on prior ops).
+    std::uint64_t x = (static_cast<std::uint64_t>(block) << 32 | page) ^
+                      (static_cast<std::uint64_t>(bs.peCycles) * 0x9E3779B97F4A7C15ull);
+    std::vector<std::uint8_t> stored(geo_.pageTotalBytes());
+    for (auto &b : stored) {
+        // splitmix64 step, one byte per draw.
+        x += 0x9E3779B97F4A7C15ull;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        b = static_cast<std::uint8_t>(z ^ (z >> 31));
+    }
+    pages_[pageKey(block, page)] = std::move(stored);
+    bs.nextPage = page + 1;
+}
+
+void
+FlashArray::copyStateFrom(const FlashArray &other)
+{
+    babol_assert(geo_ == other.geo_,
+                 "array state transplant requires matching geometry");
+    blocks_ = other.blocks_;
+    pages_ = other.pages_;
+}
+
+std::uint32_t
+FlashArray::nextPage(std::uint32_t block) const
+{
+    checkBlock(block);
+    return blocks_[block].nextPage;
+}
+
 } // namespace babol::nand

@@ -117,6 +117,28 @@ class FlashArray
     /** Artificially age a block (tests/benches). */
     void agePeCycles(std::uint32_t block, std::uint32_t cycles);
 
+    /**
+     * Truncate an in-flight program at @p page: the cells end up holding
+     * deterministic garbage (a torn page — its OOB record fails CRC on
+     * the mount scan) and the page is consumed (NOP=1 still holds, the
+     * next program lands on the following page). No-op when the page was
+     * already committed or is not the block's program frontier.
+     */
+    void tearPage(std::uint32_t block, std::uint32_t page);
+
+    /**
+     * Adopt @p other's persistent cell state (programmed pages, program
+     * frontiers, wear counters, bad-block marks). This is the simulated
+     * power cycle: a fresh world's array inherits exactly what the cells
+     * held, while every volatile structure (FTL map, DRAM buffers)
+     * starts empty. Geometries must match; the RNG stream is *not*
+     * copied (it is seeded by the new world's config).
+     */
+    void copyStateFrom(const FlashArray &other);
+
+    /** Next programmable page index of a block (the program frontier). */
+    std::uint32_t nextPage(std::uint32_t block) const;
+
     const Geometry &geometry() const { return geo_; }
 
   private:

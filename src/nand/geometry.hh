@@ -27,9 +27,25 @@ struct Geometry
     std::uint32_t pageDataBytes = 16384;
     std::uint32_t pageSpareBytes = 1872;
 
-    /** Data + spare bytes per page. */
+    /** Out-of-band bytes per page, past the ECC spare area. The ECC
+     *  parity fully consumes pageSpareBytes, so FTL metadata (the
+     *  per-page `{lpn, seq, state}` record the mount scan rebuilds the
+     *  map from) lives in this dedicated tail, addressed with plain
+     *  column addressing and transferred raw (no ECC expansion). Wide
+     *  enough for three CRC-guarded copies of the 32-byte record, so a
+     *  raw bit flip in one copy cannot masquerade as a torn page. */
+    std::uint32_t pageOobBytes = 96;
+
+    /** Data + spare + OOB bytes per page (the page register size). */
     std::uint32_t
     pageTotalBytes() const
+    {
+        return pageDataBytes + pageSpareBytes + pageOobBytes;
+    }
+
+    /** Column where the OOB tail starts within the page register. */
+    std::uint32_t
+    oobColumn() const
     {
         return pageDataBytes + pageSpareBytes;
     }

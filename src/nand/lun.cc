@@ -860,6 +860,28 @@ Lun::completeArrayOp()
     }
 }
 
+void
+Lun::powerCut()
+{
+    busyEvent_.cancel();
+    bgEvent_.cancel();
+    completion_ = nullptr;
+    bgCompletion_ = nullptr;
+    suspendedCompletion_ = nullptr;
+    for (const RowAddress &row : inflightProgramRows_)
+        array_.tearPage(row.block, row.page);
+    inflightProgramRows_.clear();
+    busyOp_ = ArrayOp::None;
+    rdy_ = true;
+    ardy_ = true;
+    suspended_ = false;
+    decode_ = Decode::Idle;
+    for (Plane &pl : planes_) {
+        pl.cacheValid = false;
+        pl.dataValid = false;
+    }
+}
+
 Tick
 Lun::actualReadTime(const RowAddress &row)
 {
@@ -1045,6 +1067,7 @@ Lun::startProgram(bool cache_mode)
         // program all queued planes in parallel.
         Tick wait = bgUntil_ > curTick() ? bgUntil_ - curTick() : 0;
         auditOpFloor("onfi.tPROG-floor", wait + prog, prog);
+        inflightProgramRows_ = rows;
         startArrayOp(ArrayOp::Program, wait + prog, [this, rows] {
             if (bgCompletion_) {
                 auto bg = std::move(bgCompletion_);
@@ -1073,6 +1096,7 @@ Lun::startProgram(bool cache_mode)
                 }
             }
             completedPrograms_ += rows.size();
+            inflightProgramRows_.clear();
         });
         return;
     }
@@ -1085,6 +1109,7 @@ Lun::startProgram(bool cache_mode)
     std::vector<std::uint8_t> data = selectedPlane().cacheReg;
     Tick wait = bgUntil_ > curTick() ? bgUntil_ - curTick() : 0;
     Tick prog_time = prog;
+    inflightProgramRows_ = {row};
 
     startArrayOp(ArrayOp::Program, wait + cfg_.timing.tCbsyW,
                  [this, row, data = std::move(data), prog_time]() mutable {
@@ -1109,6 +1134,7 @@ Lun::startProgram(bool cache_mode)
             }
             ardy_ = true;
             ++completedPrograms_;
+            inflightProgramRows_.clear();
         };
         bgEvent_ = scheduleIn(prog_time, [this] {
             if (bgCompletion_) {

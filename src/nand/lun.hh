@@ -147,6 +147,18 @@ class Lun : public SimObject
     /** True when a program/erase is parked by VENDOR SUSPEND. */
     bool suspended() const { return suspended_; }
 
+    /**
+     * Simulated power cut. Cancels every pending array event, drops the
+     * volatile page registers, and — the part that matters — tears any
+     * PAGE PROGRAM still in flight: the interrupted page's cells end up
+     * holding deterministic garbage (see FlashArray::tearPage), so a
+     * later mount scan sees a consumed page whose OOB record fails its
+     * CRC. The LUN object is normally discarded right after; only the
+     * array state survives into the remount world via
+     * FlashArray::copyStateFrom.
+     */
+    void powerCut();
+
     /** Counters for tests: completed array ops by kind. */
     std::uint64_t completedReads() const { return completedReads_; }
     std::uint64_t completedPrograms() const { return completedPrograms_; }
@@ -285,6 +297,10 @@ class Lun : public SimObject
     Tick suspendRemaining_ = 0;
     ArrayOp suspendedOp_ = ArrayOp::None;
     std::function<void()> suspendedCompletion_;
+
+    /** Rows of the program currently committing in the array, kept so a
+     *  power cut can tear exactly those pages. */
+    std::vector<RowAddress> inflightProgramRows_;
 
     // Background (cache-op) array activity, tracked apart from the
     // interface-busy state so RDY and ARDY can diverge as in real parts.

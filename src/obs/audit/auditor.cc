@@ -29,6 +29,8 @@ toString(Check c)
         return "conservation";
       case Check::Power:
         return "power";
+      case Check::Recovery:
+        return "recovery";
     }
     return "?";
 }

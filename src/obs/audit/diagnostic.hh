@@ -27,6 +27,8 @@ enum class Check : std::uint8_t {
     Channel,      //!< bus invariants (double-drive, CE overlap, starvation)
     Conservation, //!< cross-layer span accounting
     Power,        //!< energy conservation and throttle compliance
+    Recovery,     //!< crash-consistency: acknowledged writes survive a
+                  //!< remount, stale mappings never resurrect
 };
 
 const char *toString(Check c);

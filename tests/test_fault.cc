@@ -433,29 +433,31 @@ TEST(FaultFtl, ProgramFailIsRemappedAndTheWriteStillSucceeds)
 
 TEST(FaultFtl, GrownDefectsPersistAcrossRemount)
 {
-    std::vector<ftl::GrownDefect> table;
-    {
-        fault::FaultPlan plan;
-        plan.seed = 13;
-        fault::FaultSpec spec;
-        spec.kind = fault::FaultKind::EraseFail;
-        spec.nth = 1;
-        spec.count = 2;
-        plan.faults.push_back(spec);
-        fault::engine().arm(plan);
+    fault::FaultPlan plan;
+    plan.seed = 13;
+    fault::FaultSpec spec;
+    spec.kind = fault::FaultKind::EraseFail;
+    spec.nth = 1;
+    spec.count = 2;
+    plan.faults.push_back(spec);
+    fault::engine().arm(plan);
 
-        FaultedSsdRig rig;
-        for (std::uint64_t lpn = 0; lpn < 8; ++lpn)
-            EXPECT_TRUE(rig.writeOne(lpn));
-        table = rig.ftl.exportGrownDefects();
-        ASSERT_FALSE(table.empty());
-        fault::engine().disarm();
-    }
+    FaultedSsdRig rig;
+    for (std::uint64_t lpn = 0; lpn < 8; ++lpn)
+        EXPECT_TRUE(rig.writeOne(lpn));
+    std::vector<ftl::GrownDefect> table = rig.ftl.exportGrownDefects();
+    ASSERT_FALSE(table.empty());
+    fault::engine().disarm();
 
-    // Remount: a fresh FTL over a clean device, fed the defect table.
-    ftl::FtlConfig fcfg = FaultedSsdRig::smallFtl();
-    fcfg.grownDefects = table;
-    FaultedSsdRig rig2(fcfg);
+    // Remount: a fresh world over the SAME cells — no side-channel, the
+    // defect table has to come back from the OOB journal alone.
+    FaultedSsdRig rig2;
+    for (std::uint32_t c = 0; c < 2; ++c)
+        rig2.sys.lun(c).array().copyStateFrom(rig.sys.lun(c).array());
+    bool mounted = false;
+    rig2.ftl.mount([&](bool ok) { mounted = ok; });
+    rig2.eq.run();
+    ASSERT_TRUE(mounted);
 
     std::vector<ftl::GrownDefect> after = rig2.ftl.exportGrownDefects();
     ASSERT_EQ(after.size(), table.size());

@@ -26,7 +26,9 @@ defaultGeo()
 TEST(Geometry, DerivedQuantities)
 {
     Geometry g = defaultGeo();
-    EXPECT_EQ(g.pageTotalBytes(), g.pageDataBytes + g.pageSpareBytes);
+    EXPECT_EQ(g.pageTotalBytes(),
+              g.pageDataBytes + g.pageSpareBytes + g.pageOobBytes);
+    EXPECT_EQ(g.oobColumn(), g.pageDataBytes + g.pageSpareBytes);
     EXPECT_EQ(g.blocksPerLun(), g.planesPerLun * g.blocksPerPlane);
     EXPECT_EQ(g.pagesPerLun(),
               static_cast<std::uint64_t>(g.blocksPerLun()) *
