@@ -17,10 +17,16 @@
  *     span begin/end guards an instrumented component takes plus one
  *     disabled power-meter charge, measuring the tax tracing and power
  *     accounting impose when they are not in use (CI guards this
- *     against the plain kernel).
+ *     against the plain kernel);
+ *   - "kernel+scrub(off)": the same kernel paying the bookkeeping a
+ *     host op costs when the patrol scrubber is compiled in but
+ *     stopped — the host-inflight window the scrubber's idle test
+ *     reads, and the per-read disturb counter with its threshold
+ *     check (CI guards this against the plain kernel too).
  *
  * Every phase runs three times, INTERLEAVED round-robin (seed, kernel,
- * obs-off, seed, ...), and the reported figure is the per-phase median.
+ * obs-off, scrub-off, seed, ...), and the reported figure is the
+ * per-phase median.
  * Interleaving matters: back-to-back runs of the same phase see the
  * same frequency/cache drift, which once produced a negative "overhead"
  * for the obs build simply because it ran last. All three samples are
@@ -191,7 +197,7 @@ class SeedEventQueue
 // Workload
 // ---------------------------------------------------------------------
 
-template <typename Queue, bool WithObs = false>
+template <typename Queue, bool WithObs = false, bool WithScrub = false>
 struct Driver
 {
     static constexpr int kActors = 64;
@@ -244,6 +250,18 @@ struct Driver
             // exactly the tax the <3% overhead guard must cover.
             meter_->charge(0, eq_.now(), eq_.now() + 1000, 80);
         }
+        if constexpr (WithScrub) {
+            // The bookkeeping a host op pays with the patrol scrubber
+            // compiled in but stopped: the inflight window its idle
+            // test reads, and the per-read disturb counter with its
+            // trip check (reset instead of refreshed here, so the
+            // branch stays live but never schedules work).
+            ++hostInflight_;
+            std::uint32_t &d = disturb_[static_cast<std::size_t>(i)];
+            if (++d >= 50000)
+                d = 0;
+            --hostInflight_;
+        }
         const std::uint64_t s = steps_++;
         const Tick d = kDelays[(s + static_cast<std::uint64_t>(i)) & 7];
         if ((s & 3) == 0) {
@@ -269,6 +287,8 @@ struct Driver
     std::uint64_t steps_ = 0;
     std::uint32_t track_ = 0;
     std::uint32_t label_ = 0;
+    std::uint32_t hostInflight_ = 0;               //!< WithScrub only
+    std::uint32_t disturb_[kActors] = {};          //!< WithScrub only
 };
 
 struct Phase
@@ -278,11 +298,11 @@ struct Phase
     std::uint64_t fired = 0;
 };
 
-template <typename Queue, bool WithObs = false>
+template <typename Queue, bool WithObs = false, bool WithScrub = false>
 Phase
 runKernel(Queue &eq, std::uint64_t warmup, std::uint64_t measured)
 {
-    Driver<Queue, WithObs> driver(eq);
+    Driver<Queue, WithObs, WithScrub> driver(eq);
     driver.start();
     while (driver.fired_ < warmup)
         eq.step();
@@ -435,8 +455,8 @@ main(int argc, char **argv)
     }
     const std::uint64_t warmup = measured / 10;
 
-    // Three interleaved rounds of the three single-threaded phases.
-    Phase seedRuns[3], kernelRuns[3], obsRuns[3];
+    // Three interleaved rounds of the four single-threaded phases.
+    Phase seedRuns[3], kernelRuns[3], obsRuns[3], scrubRuns[3];
     babol::EventQueue::PoolStats stats{};
     for (int r = 0; r < 3; ++r) {
         SeedEventQueue seedQ;
@@ -450,14 +470,25 @@ main(int argc, char **argv)
         babol::EventQueue eqObs;
         obsRuns[r] = runKernel<babol::EventQueue, true>(eqObs, warmup,
                                                         measured);
+
+        babol::EventQueue eqScrub;
+        scrubRuns[r] =
+            runKernel<babol::EventQueue, false, true>(eqScrub, warmup,
+                                                      measured);
     }
     const Phase &seed = medianPhase(seedRuns);
     const Phase &kernel = medianPhase(kernelRuns);
     const Phase &obsOff = medianPhase(obsRuns);
+    const Phase &scrubOff = medianPhase(scrubRuns);
 
     const double obsOverheadPct =
         kernel.eventsPerSec > 0
             ? (kernel.eventsPerSec - obsOff.eventsPerSec) /
+                  kernel.eventsPerSec * 100.0
+            : 0;
+    const double scrubOverheadPct =
+        kernel.eventsPerSec > 0
+            ? (kernel.eventsPerSec - scrubOff.eventsPerSec) /
                   kernel.eventsPerSec * 100.0
             : 0;
 
@@ -517,6 +548,15 @@ main(int argc, char **argv)
     emit("  \"kernel_obs_disabled_allocs_per_event\": %.4f,\n",
          obsOff.allocsPerEvent);
     emit("  \"obs_disabled_overhead_pct\": %.2f,\n", obsOverheadPct);
+    emit("  \"kernel_scrub_disabled_events_per_sec\": %.0f,\n",
+         scrubOff.eventsPerSec);
+    emit("  \"kernel_scrub_disabled_events_per_sec_runs\": "
+         "[%.0f, %.0f, %.0f],\n",
+         scrubRuns[0].eventsPerSec, scrubRuns[1].eventsPerSec,
+         scrubRuns[2].eventsPerSec);
+    emit("  \"kernel_scrub_disabled_allocs_per_event\": %.4f,\n",
+         scrubOff.allocsPerEvent);
+    emit("  \"scrub_disabled_overhead_pct\": %.2f,\n", scrubOverheadPct);
     emit("  \"speedup\": %.2f,\n", speedup);
     emit("  \"inline_callback_hit_rate\": %.4f,\n", inlineRate);
     emit("  \"pool_capacity\": %llu,\n",
@@ -565,7 +605,8 @@ main(int argc, char **argv)
     std::cout << "\nwritten to " << out << "\n";
 
     if (kernel.allocsPerEvent > 0.001 ||
-        obsOff.allocsPerEvent > 0.001) {
+        obsOff.allocsPerEvent > 0.001 ||
+        scrubOff.allocsPerEvent > 0.001) {
         std::cerr << "WARNING: kernel steady state is not allocation-free\n";
         return 1;
     }

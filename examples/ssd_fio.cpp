@@ -46,6 +46,17 @@
  * the wear spread stays bounded and the device survives the first
  * erase-limit retirement.
  *
+ * --rain / --scrub run the media-decay reliability campaign on a
+ * sharded 2-channel device: --rain attaches the cross-chip RAIN parity
+ * manager, --scrub the background patrol scrubber, and --diefail-at N
+ * (or --blockfail-at N) injects a die (block) failure after the Nth
+ * acknowledged write of a stamped mixed read/write workload. The
+ * campaign then verifies that every acknowledged write reads back
+ * intact — XOR-rebuilt where its die died — and exits with the
+ * distinct status 4 on any acknowledged-data loss.
+ * --reliability-out FILE appends one deterministic digest line per run
+ * so CI can cmp reruns and thread counts (--threads T).
+ *
  * --qpairs N switches to the NVMe-style queued front end: a sharded
  * multi-channel device reached through N submission/completion queue
  * pairs (DRAM rings + doorbells + interrupt coalescing) instead of
@@ -80,6 +91,8 @@
 #include "obs/cli.hh"
 #include "obs/perfetto.hh"
 #include "obs/power/power.hh"
+#include "reliability/rain.hh"
+#include "reliability/scrub.hh"
 #include "sim/fleet.hh"
 #include "ssd/sharded_ssd.hh"
 
@@ -926,6 +939,316 @@ runLifetimeSmoke(const std::string &flavor)
     return 0;
 }
 
+// ---------------------------------------------------------------------
+// Media-decay reliability campaign (RAIN + patrol scrub + die failure)
+// ---------------------------------------------------------------------
+
+/** Exit status for acknowledged-data loss: distinct from the generic
+ *  audit/metric failures (1) so CI can tell them apart. */
+constexpr int kExitDataLoss = 4;
+
+/**
+ * The reliability campaign: a sharded 2x2 device runs a stamped mixed
+ * read/write workload with the RAIN manager and/or patrol scrubber
+ * attached; --diefail-at N kills a whole die (and --blockfail-at N a
+ * block) after the Nth acknowledged write, mid-traffic. The campaign
+ * then waits out the background rebuild sweep and walks the ledger:
+ * every acknowledged generation must read back byte-intact, served
+ * from the shadow map or XOR-rebuilt where its physical copy died.
+ *
+ * Everything host-side lives on shard 0, so the run — including the
+ * exit digest — is byte-identical at any --threads.
+ */
+int
+runReliability(const std::string &flavor, bool rain_on, bool scrub_on,
+               std::uint64_t diefail_at, std::uint64_t blockfail_at,
+               const std::string &rel_out, std::uint32_t threads,
+               obs::cli::Options &obs_opts)
+{
+    if (threads == 0)
+        threads = 1;
+
+    ssd::SsdConfig cfg;
+    cfg.channels = 2;
+    cfg.flavor = flavor == "hw" ? "hw-async" : flavor;
+    cfg.channel.package = nand::hynixPackage();
+    cfg.channel.package.geometry.pagesPerBlock = 8;
+    cfg.channel.package.geometry.blocksPerPlane = 32;
+    cfg.channel.chips = 2;
+    cfg.channel.rateMT = 200;
+    cfg.channel.seed = 11;
+    cfg.maxReadRetries = 4;
+    ssd::ShardedSsd dev("ssd", cfg);
+
+    // The engine must be armed (even with an empty plan) for the
+    // harness failDie/failBlock calls and the media-decay hooks.
+    fault::FaultPlan plan;
+    plan.seed = 77;
+    dev.faults().arm(plan);
+
+    // Sized so the device stays writable after losing a whole die:
+    // half the logical space in use + one parity page per stripe must
+    // still fit the surviving 3/4 of the cells with GC headroom.
+    ftl::FtlConfig fcfg;
+    fcfg.blocksPerChip = 16;
+    fcfg.overprovision = 0.25;
+    fcfg.reliabilityScratchPages = 8;
+    ftl::PageFtl ftl(dev.hostQueue(), "ftl", dev, fcfg);
+
+    std::unique_ptr<reliability::RainManager> rain;
+    if (rain_on)
+        rain = std::make_unique<reliability::RainManager>(
+            dev.hostQueue(), "rain", ftl);
+    std::unique_ptr<reliability::PatrolScrubber> scrub;
+    if (scrub_on) {
+        reliability::ScrubConfig scfg;
+        scfg.intervalUs = 50;
+        scrub = std::make_unique<reliability::PatrolScrubber>(
+            dev.hostQueue(), "scrub", ftl, scfg);
+        scrub->start();
+    }
+
+    const std::uint32_t nchips = dev.backendChipCount();
+    std::printf("reliability campaign (%s): %u chips, rain=%s scrub=%s",
+                cfg.flavor.c_str(), nchips, rain_on ? "on" : "off",
+                scrub_on ? "on" : "off");
+    if (diefail_at)
+        std::printf(" diefail@%llu",
+                    static_cast<unsigned long long>(diefail_at));
+    if (blockfail_at)
+        std::printf(" blockfail@%llu",
+                    static_cast<unsigned long long>(blockfail_at));
+    std::printf(", %u thread(s)\n", threads);
+
+    // --- Phase 1: stamped mixed workload, fault injected mid-flight ---
+    const std::uint32_t page_bytes = ftl.pageBytes();
+    const std::uint64_t extent = ftl.logicalPages() / 2;
+    const std::uint64_t total_ops =
+        std::max<std::uint64_t>(400, std::max(diefail_at, blockfail_at) +
+                                         128);
+    CrashLedger led(extent);
+    Rng rng(plan.seed);
+    std::vector<std::uint8_t> page(page_bytes), got(page_bytes),
+        want(page_bytes);
+    std::uint64_t issued = 0, completed = 0, reads = 0;
+    std::uint64_t read_failures = 0, read_corrupt = 0;
+    const std::uint32_t kill_chip = 1;          // ssd.ch0.pkg1
+    const std::uint32_t blockfail_chip = nchips - 1;
+    bool die_killed = false, block_killed = false;
+
+    std::function<void(std::uint32_t)> issue = [&](std::uint32_t slot) {
+        if (issued >= total_ops) {
+            if (completed == issued && scrub)
+                scrub->stop(); // drain: the patrol would tick forever
+            return;
+        }
+        ++issued;
+        const std::uint64_t addr =
+            kCrashHostBase + std::uint64_t(slot) * page_bytes;
+        const std::uint64_t lpn = rng.uniform(0, extent - 1);
+
+        // Every third op re-reads an already-acknowledged page and
+        // checks its stamp — acked data must stay readable throughout,
+        // including while a die is down and rebuilds are in flight.
+        if (issued % 3 == 0 && led.ackedGen[lpn] != 0) {
+            ++reads;
+            const std::uint64_t floor_gen = led.ackedGen[lpn];
+            ftl.readPage(lpn, addr, [&, slot, lpn, addr,
+                                     floor_gen](bool ok) {
+                ++completed;
+                if (!ok) {
+                    ++read_failures;
+                } else {
+                    dev.backendDram().read(addr, got);
+                    std::uint64_t gen = 0;
+                    if (!readStamp(got, lpn, &gen) || gen < floor_gen ||
+                        gen > led.issuedGen[lpn]) {
+                        ++read_corrupt;
+                    } else {
+                        stampPattern(want, lpn, gen);
+                        if (got != want)
+                            ++read_corrupt;
+                    }
+                }
+                issue(slot);
+            });
+            return;
+        }
+
+        const std::uint64_t gen = ++led.issuedGen[lpn];
+        stampPattern(page, lpn, gen);
+        dev.backendDram().write(addr, page);
+        ftl.writePage(lpn, addr, [&, slot, lpn, gen](bool ok) {
+            ++completed;
+            if (!ok)
+                fatal("reliability workload: write lpn %llu failed",
+                      static_cast<unsigned long long>(lpn));
+            led.ackedGen[lpn] = std::max(led.ackedGen[lpn], gen);
+            ++led.acked;
+            if (diefail_at && led.acked == diefail_at && !die_killed) {
+                die_killed = true;
+                dev.faults().failDie(dev.backendChipName(kill_chip),
+                                     dev.hostQueue().now());
+                ftl.markChipDead(kill_chip);
+            }
+            if (blockfail_at && led.acked == blockfail_at &&
+                !block_killed) {
+                block_killed = true;
+                dev.faults().failBlock(
+                    dev.backendChipName(blockfail_chip), 1, 1,
+                    dev.hostQueue().now());
+            }
+            issue(slot);
+        });
+    };
+    for (std::uint32_t q = 0; q < kCrashQd; ++q)
+        issue(q);
+    dev.run(threads); // returns once the rebuild sweep drains too
+
+    if (completed != issued)
+        fatal("reliability workload stalled: %llu of %llu ops done",
+              static_cast<unsigned long long>(completed),
+              static_cast<unsigned long long>(issued));
+
+    std::printf("workload: %llu ops (%llu writes acked, %llu reads: "
+                "%llu failed, %llu corrupt)\n",
+                static_cast<unsigned long long>(issued),
+                static_cast<unsigned long long>(led.acked),
+                static_cast<unsigned long long>(reads),
+                static_cast<unsigned long long>(read_failures),
+                static_cast<unsigned long long>(read_corrupt));
+    if (scrub)
+        std::printf("scrub: %llu patrol reads (%llu sweeps), %llu near "
+                    "misses, %llu disturb trips, %llu refreshes, %llu "
+                    "yields, %llu forced slots\n",
+                    static_cast<unsigned long long>(scrub->patrolReads()),
+                    static_cast<unsigned long long>(scrub->sweeps()),
+                    static_cast<unsigned long long>(scrub->nearMisses()),
+                    static_cast<unsigned long long>(
+                        scrub->disturbTrips()),
+                    static_cast<unsigned long long>(scrub->refreshes()),
+                    static_cast<unsigned long long>(scrub->yields()),
+                    static_cast<unsigned long long>(
+                        scrub->forcedSlots()));
+    if (rain)
+        std::printf("rain: %llu stripes sealed (%llu parity writes), "
+                    "%llu released, %llu holes patched, rebuild %llu/%llu "
+                    "(%llu ok, %llu failed)\n",
+                    static_cast<unsigned long long>(
+                        rain->stripesSealed()),
+                    static_cast<unsigned long long>(rain->parityWrites()),
+                    static_cast<unsigned long long>(
+                        rain->stripesReleased()),
+                    static_cast<unsigned long long>(rain->holesPatched()),
+                    static_cast<unsigned long long>(rain->rebuildDone()),
+                    static_cast<unsigned long long>(rain->rebuildTotal()),
+                    static_cast<unsigned long long>(rain->rebuildsOk()),
+                    static_cast<unsigned long long>(
+                        rain->rebuildsFailed()));
+
+    // --- Phase 2: full read-back verification against the ledger ---
+    std::uint64_t lost = 0, corrupt = 0, verified = 0;
+    std::uint64_t fnv = 1469598103934665603ull;
+    auto fold = [&fnv](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            fnv ^= (v >> (8 * i)) & 0xFF;
+            fnv *= 1099511628211ull;
+        }
+    };
+    std::uint64_t vlpn = 0;
+    std::function<void()> verify_next = [&] {
+        for (; vlpn < extent && led.ackedGen[vlpn] == 0; ++vlpn)
+            fold(0);
+        if (vlpn >= extent)
+            return;
+        const std::uint64_t lpn = vlpn++;
+        ftl.readPage(lpn, kCrashHostBase, [&, lpn](bool ok) {
+            std::uint64_t gen = 0;
+            if (!ok) {
+                ++lost;
+                std::printf("DATA LOSS: lpn %llu (acked gen %llu) "
+                            "unreadable after campaign\n",
+                            static_cast<unsigned long long>(lpn),
+                            static_cast<unsigned long long>(
+                                led.ackedGen[lpn]));
+            } else {
+                dev.backendDram().read(kCrashHostBase, got);
+                if (!readStamp(got, lpn, &gen) ||
+                    gen < led.ackedGen[lpn] || gen > led.issuedGen[lpn]) {
+                    ++corrupt;
+                    std::printf("DATA LOSS: lpn %llu stamp invalid "
+                                "(got gen %llu, acked %llu)\n",
+                                static_cast<unsigned long long>(lpn),
+                                static_cast<unsigned long long>(gen),
+                                static_cast<unsigned long long>(
+                                    led.ackedGen[lpn]));
+                } else {
+                    stampPattern(want, lpn, gen);
+                    if (got != want) {
+                        ++corrupt;
+                        std::printf("DATA LOSS: lpn %llu gen %llu "
+                                    "payload corrupt\n",
+                                    static_cast<unsigned long long>(lpn),
+                                    static_cast<unsigned long long>(
+                                        gen));
+                    } else {
+                        ++verified;
+                    }
+                }
+            }
+            fold(gen);
+            verify_next();
+        });
+    };
+    verify_next();
+    dev.run(threads);
+    fold(led.acked);
+    fold(read_failures + read_corrupt);
+    fold(lost + corrupt);
+
+    const std::uint64_t host_loss = read_failures + read_corrupt;
+    std::string line = strfmt(
+        "reliability %s rain=%d scrub=%d diefail@%llu blockfail@%llu | "
+        "acked=%llu verified=%llu lost=%llu corrupt=%llu inflight-loss="
+        "%llu data-loss-metric=%llu digest=%016llx",
+        cfg.flavor.c_str(), rain_on ? 1 : 0, scrub_on ? 1 : 0,
+        static_cast<unsigned long long>(diefail_at),
+        static_cast<unsigned long long>(blockfail_at),
+        static_cast<unsigned long long>(led.acked),
+        static_cast<unsigned long long>(verified),
+        static_cast<unsigned long long>(lost),
+        static_cast<unsigned long long>(corrupt),
+        static_cast<unsigned long long>(host_loss),
+        static_cast<unsigned long long>(ftl.dataLoss()),
+        static_cast<unsigned long long>(fnv));
+    std::printf("%s\n", line.c_str());
+    if (!rel_out.empty()) {
+        std::ofstream out(rel_out, std::ios::app);
+        if (!out)
+            fatal("cannot write %s", rel_out.c_str());
+        out << line << "\n";
+    }
+
+    std::printf("\n%s\n", dev.faults().summary().c_str());
+    obs_opts.captureMetrics(dev.hostQueue());
+    int status = obs_opts.finalize();
+
+    if (lost || corrupt || host_loss || ftl.dataLoss()) {
+        std::printf("reliability campaign: ACKNOWLEDGED DATA LOST "
+                    "(%llu unreadable, %llu corrupt, %llu in-flight, "
+                    "reliability.data-loss=%llu)\n",
+                    static_cast<unsigned long long>(lost),
+                    static_cast<unsigned long long>(corrupt),
+                    static_cast<unsigned long long>(host_loss),
+                    static_cast<unsigned long long>(ftl.dataLoss()));
+        return kExitDataLoss;
+    }
+    std::printf("reliability campaign: clean — every acknowledged write "
+                "read back intact%s\n",
+                die_killed ? " across a die failure" : "");
+    return status;
+}
+
 } // namespace
 
 int
@@ -940,6 +1263,11 @@ main(int argc, char **argv)
     std::vector<std::uint64_t> crash_points;
     bool clean_remount = false;
     bool lifetime_smoke = false;
+    bool rain_on = false;
+    bool scrub_on = false;
+    std::uint64_t diefail_at = 0;
+    std::uint64_t blockfail_at = 0;
+    std::string rel_out;
     std::size_t fleet = 0;
     std::uint32_t streams = 1;
     std::uint32_t threads = 1;
@@ -1005,6 +1333,27 @@ main(int argc, char **argv)
             lifetime_smoke = true;
             continue;
         }
+        if (std::strcmp(argv[i], "--rain") == 0) {
+            rain_on = true;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--scrub") == 0) {
+            scrub_on = true;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--diefail-at") == 0 && i + 1 < argc) {
+            diefail_at = std::strtoull(argv[++i], nullptr, 10);
+            continue;
+        }
+        if (std::strcmp(argv[i], "--blockfail-at") == 0 && i + 1 < argc) {
+            blockfail_at = std::strtoull(argv[++i], nullptr, 10);
+            continue;
+        }
+        if (std::strcmp(argv[i], "--reliability-out") == 0 &&
+            i + 1 < argc) {
+            rel_out = argv[++i];
+            continue;
+        }
         if (argv[i][0] != '-')
             flavor = argv[i];
         else
@@ -1012,6 +1361,8 @@ main(int argc, char **argv)
                   "[--fleet N] [--streams M] [--threads T] "
                   "[--crash-at N] [--crash-plan FILE] [--remount] "
                   "[--crash-out FILE] [--lifetime-smoke] "
+                  "[--rain] [--scrub] [--diefail-at N] "
+                  "[--blockfail-at N] [--reliability-out FILE] "
                   "[--qpairs N [--replay FILE] [--tenants N] "
                   "[--slo-out FILE]] %s",
                   obs::cli::Options::usage());
@@ -1031,6 +1382,10 @@ main(int argc, char **argv)
 
     if (lifetime_smoke)
         return runLifetimeSmoke(flavor);
+
+    if (rain_on || scrub_on || diefail_at || blockfail_at)
+        return runReliability(flavor, rain_on, scrub_on, diefail_at,
+                              blockfail_at, rel_out, threads, obs_opts);
 
     if (!crash_plan_path.empty() || !crash_points.empty() ||
         clean_remount) {

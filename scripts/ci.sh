@@ -31,10 +31,16 @@
 #                  byte-identical tables, and the multi-tenant SLO JSON
 #                  must be byte-identical across thread counts (same
 #                  build requirement)
+#   --reliability-only  media-decay campaign: a die killed mid-workload
+#                  on every controller flavour under BABOL_AUDIT=1 with
+#                  RAIN + patrol scrub on, asserting zero acknowledged
+#                  data loss, byte-identical rerun and thread-count
+#                  digests, a surviving block failure, and the no-RAIN
+#                  control that MUST lose data (same build requirement)
 #
 # Usage: scripts/ci.sh
 #   [--plain-only|--asan-only|--tsan-only|--audit-only|--crash-only|
-#    --guard-only]
+#    --guard-only|--reliability-only]
 
 set -euo pipefail
 
@@ -175,6 +181,85 @@ stage_crash() {
     BABOL_AUDIT=1 "$ROOT/build/examples/ssd_fio" coro --remount | tail -2
 }
 
+# Media-decay reliability campaign: on every controller flavour, kill a
+# die mid-workload with RAIN + patrol scrub armed and the auditor in
+# sanitizer mode. The gate: the run completes with zero acknowledged
+# data loss (exit 0, not the data-loss exit code 4), every stranded
+# page XOR-rebuilt and verified by read-back digest — and the whole
+# campaign is deterministic, so a rerun's digest file must be
+# byte-identical, as must the digest across 1/2/4 worker threads. A
+# block failure must be survived the same way, and the no-RAIN control
+# MUST lose data (proving the campaign actually bites).
+stage_reliability() {
+    ensure_plain_build
+    echo "=== tier-1: reliability test suite (ctest -L reliability) ==="
+    BABOL_AUDIT=1 ctest --test-dir "$ROOT/build" --output-on-failure \
+        -L reliability -j"$JOBS"
+
+    echo "=== tier-1: reliability campaign (die failure, every flavour) ==="
+    mkdir -p "$ROOT/build/reliability-reports"
+    # The digest file is append-mode; stale lines from a previous local
+    # run would defeat the byte-identical cmp below.
+    rm -f "$ROOT/build/reliability-reports"/rel_*.txt
+    local flavor
+    for flavor in coro rtos hw; do
+        echo "--- $flavor ---"
+        BABOL_AUDIT=1 "$ROOT/build/examples/ssd_fio" "$flavor" \
+            --rain --scrub --diefail-at 200 \
+            --reliability-out "$ROOT/build/reliability-reports/rel_${flavor}_a.txt" \
+            | tail -4
+        BABOL_AUDIT=1 "$ROOT/build/examples/ssd_fio" "$flavor" \
+            --rain --scrub --diefail-at 200 \
+            --reliability-out "$ROOT/build/reliability-reports/rel_${flavor}_b.txt" \
+            >/dev/null
+        cmp "$ROOT/build/reliability-reports/rel_${flavor}_a.txt" \
+            "$ROOT/build/reliability-reports/rel_${flavor}_b.txt" || {
+            echo "FAIL: $flavor die-failure recovery is not deterministic"
+            exit 1
+        }
+    done
+    echo "    byte-identical recovery digests on reruns"
+
+    echo "=== tier-1: reliability thread-count determinism (1/2/4) ==="
+    local t
+    for t in 1 2 4; do
+        BABOL_AUDIT=1 "$ROOT/build/examples/ssd_fio" coro \
+            --rain --scrub --diefail-at 200 --threads "$t" \
+            --reliability-out "$ROOT/build/reliability-reports/rel_t${t}.txt" \
+            >/dev/null
+    done
+    cmp "$ROOT/build/reliability-reports/rel_t1.txt" \
+        "$ROOT/build/reliability-reports/rel_t2.txt" || {
+        echo "FAIL: reliability digest differs between 1 and 2 threads"
+        exit 1
+    }
+    cmp "$ROOT/build/reliability-reports/rel_t1.txt" \
+        "$ROOT/build/reliability-reports/rel_t4.txt" || {
+        echo "FAIL: reliability digest differs between 1 and 4 threads"
+        exit 1
+    }
+    echo "    identical digests at 1, 2, and 4 threads"
+
+    echo "=== tier-1: reliability block-failure campaign ==="
+    BABOL_AUDIT=1 "$ROOT/build/examples/ssd_fio" coro \
+        --rain --scrub --blockfail-at 150 \
+        --reliability-out "$ROOT/build/reliability-reports/rel_blockfail.txt" \
+        | tail -4
+
+    # Negative control: the same die kill WITHOUT RAIN must lose data
+    # and say so via the dedicated exit code. If this run starts
+    # passing, the campaign stopped exercising anything.
+    echo "=== tier-1: reliability no-RAIN control (must lose data) ==="
+    local rc=0
+    "$ROOT/build/examples/ssd_fio" coro --scrub --diefail-at 200 \
+        >/dev/null || rc=$?
+    if [[ "$rc" -ne 4 ]]; then
+        echo "FAIL: no-RAIN die kill exited $rc, expected data-loss code 4"
+        exit 1
+    fi
+    echo "    control lost data as expected (exit 4)"
+}
+
 # Bench-regression guard: the event kernel's throughput must stay
 # within 15% of the committed baseline. One retry absorbs machine
 # noise; the comparison uses sed/awk only, no extra tooling.
@@ -205,24 +290,30 @@ stage_guard() {
         }
     fi
 
-    # Tracing-overhead guard: with the obs hot path compiled in but
-    # recording disabled, the event kernel must stay within 3% of its
-    # plain throughput. One retry absorbs machine noise.
-    echo "=== tier-1: tracing-overhead guard ==="
+    # Disabled-overhead guard: with the obs hot path (or the scrubber's
+    # host-path bookkeeping) compiled in but switched off, the event
+    # kernel must stay within 3% of its plain throughput. One retry
+    # absorbs machine noise.
+    echo "=== tier-1: disabled-overhead guard (obs + scrub) ==="
     check_overhead() {
         "$ROOT/build/bench/micro_event_kernel" --quick \
             --out "$ROOT/build/bench_obs_guard.json" >/dev/null
-        local pct
+        local pct spct
         pct="$(sed -n \
             's/.*"obs_disabled_overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' \
             "$ROOT/build/bench_obs_guard.json")"
-        echo "    obs-disabled overhead: ${pct}%"
-        awk -v p="$pct" 'BEGIN { exit !(p <= 3.0) }'
+        spct="$(sed -n \
+            's/.*"scrub_disabled_overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' \
+            "$ROOT/build/bench_obs_guard.json")"
+        echo "    obs-disabled overhead: ${pct}%," \
+             "scrub-disabled overhead: ${spct}%"
+        awk -v p="$pct" -v s="$spct" \
+            'BEGIN { exit !(p <= 3.0 && s <= 3.0) }'
     }
     if ! check_overhead; then
         echo "    above 3%; retrying once to rule out noise"
         check_overhead || {
-            echo "FAIL: disabled tracing costs more than 3% throughput"
+            echo "FAIL: disabled tracing/scrub costs more than 3% throughput"
             exit 1
         }
     fi
@@ -282,17 +373,19 @@ case "$MODE" in
   --audit-only) stage_audit ;;
   --crash-only) stage_crash ;;
   --guard-only) stage_guard ;;
+  --reliability-only) stage_reliability ;;
   all)
     stage_plain
     stage_audit
     stage_crash
+    stage_reliability
     stage_asan
     stage_tsan
     stage_guard
     ;;
   *)
     echo "usage: scripts/ci.sh" \
-         "[--plain-only|--asan-only|--tsan-only|--audit-only|--crash-only|--guard-only]" \
+         "[--plain-only|--asan-only|--tsan-only|--audit-only|--crash-only|--guard-only|--reliability-only]" \
          >&2
     exit 2
     ;;

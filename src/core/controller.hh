@@ -131,6 +131,10 @@ class ChannelController : public SimObject, public FlashBackend
     }
     dram::DramBuffer &backendDram() override { return sys_.dram(); }
     fault::FaultEngine &backendFaults() override { return sys_.faults(); }
+    std::string backendChipName(std::uint32_t chip) const override
+    {
+        return strfmt("%s.pkg%u", sys_.name().c_str(), chip);
+    }
 
     /** The device's fault engine (per-device when wired, else the
      *  process default) — recovery reporting goes through this. */

@@ -127,6 +127,7 @@ readOp(OpEnv &env, FlashRequest req)
                     "READ.xfer"));
     res.correctedBits = xfer.eccCorrectedBits;
     res.failedCodewords = xfer.eccFailedCodewords;
+    res.maxCodewordBits = xfer.eccMaxCodewordBits;
     res.ok = xfer.eccFailedCodewords == 0;
     co_return res;
 }
@@ -165,6 +166,7 @@ pslcReadOp(OpEnv &env, FlashRequest req)
                     "PSLC_READ.xfer"));
     res.correctedBits = xfer.eccCorrectedBits;
     res.failedCodewords = xfer.eccFailedCodewords;
+    res.maxCodewordBits = xfer.eccMaxCodewordBits;
     res.ok = xfer.eccFailedCodewords == 0;
     co_return res;
 }
@@ -449,6 +451,7 @@ gangReadOp(OpEnv &env, std::uint32_t chip_mask, RowAddress row,
     out.servedChip = winner;
     out.result.correctedBits = xfer.eccCorrectedBits;
     out.result.failedCodewords = xfer.eccFailedCodewords;
+    out.result.maxCodewordBits = xfer.eccMaxCodewordBits;
     out.result.ok = xfer.eccFailedCodewords == 0;
     co_return out;
 }
@@ -497,6 +500,8 @@ cacheReadSeqOp(OpEnv &env, std::uint32_t chip, RowAddress row,
             "CACHE_READ.xfer"));
         res.correctedBits += xfer.eccCorrectedBits;
         res.failedCodewords += xfer.eccFailedCodewords;
+        res.maxCodewordBits = std::max(res.maxCodewordBits,
+                                       xfer.eccMaxCodewordBits);
     }
     res.ok = res.failedCodewords == 0;
     co_return res;
@@ -605,6 +610,8 @@ multiPlaneReadOp(OpEnv &env, std::uint32_t chip, RowAddress row_plane0,
         TxnResult r = co_await env.rt.submit(std::move(xfer));
         res.correctedBits += r.eccCorrectedBits;
         res.failedCodewords += r.eccFailedCodewords;
+        res.maxCodewordBits = std::max(res.maxCodewordBits,
+                                       r.eccMaxCodewordBits);
     }
     res.ok = res.failedCodewords == 0;
     co_return res;

@@ -90,6 +90,8 @@ EccEngine::decode(std::span<std::uint8_t> image, std::uint32_t page_column,
             continue;
         errs[(byte - page_column) / cw_total]++;
     }
+    for (std::uint32_t e : errs)
+        report.maxCodewordBits = std::max(report.maxCodewordBits, e);
 
     // Pass 2: correct codewords within capability; leave the rest dirty.
     for (std::uint32_t bit : flips) {

@@ -35,6 +35,11 @@ struct EccReport
     std::uint32_t codewords = 0;
     std::uint32_t correctedBits = 0;
     std::uint32_t failedCodewords = 0;
+    /** Raw errors in the dirtiest codeword of the transfer: the
+     *  correctable-error margin is correctBits - maxCodewordBits. A
+     *  decode that succeeds with little margin left is a near-miss the
+     *  scrubber should refresh before retention finishes the job. */
+    std::uint32_t maxCodewordBits = 0;
 
     bool ok() const { return failedCodewords == 0; }
 };

@@ -1,5 +1,7 @@
 #include "exec_unit.hh"
 
+#include <algorithm>
+
 #include "obs/audit/auditor.hh"
 
 namespace babol::core {
@@ -97,6 +99,8 @@ ExecUnit::finish(Transaction txn, BuiltSegment built,
                                                    flips);
             out.eccCorrectedBits += report.correctedBits;
             out.eccFailedCodewords += report.failedCodewords;
+            out.eccMaxCodewordBits = std::max(out.eccMaxCodewordBits,
+                                              report.maxCodewordBits);
         } else {
             out.inlineData.insert(out.inlineData.end(), bytes.begin(),
                                   bytes.end());

@@ -10,6 +10,8 @@
 #ifndef BABOL_CORE_FLASH_BACKEND_HH
 #define BABOL_CORE_FLASH_BACKEND_HH
 
+#include <string>
+
 #include "dram/dram.hh"
 #include "fault/fault_engine.hh"
 #include "nand/geometry.hh"
@@ -33,6 +35,18 @@ class FlashBackend
 
     /** The DRAM staging buffer host data moves through. */
     virtual dram::DramBuffer &backendDram() = 0;
+
+    /**
+     * SimObject-name prefix of chip @p chip's package — a substring of
+     * every LUN name under it, usable as a FaultSpec `where` pattern or
+     * a FaultEngine::deadAt() query. Empty when the back-end has no
+     * named NAND underneath (unit-test stubs).
+     */
+    virtual std::string backendChipName(std::uint32_t chip) const
+    {
+        (void)chip;
+        return {};
+    }
 
     /** The device's fault engine — the FTL reports remaps through the
      *  same per-device engine the NAND hooks consult. Defaults to the

@@ -167,6 +167,7 @@ HwReadFsm::step()
                 s.lun(req_.chip).cacheRegisterFlips());
             result_.correctedBits = report.correctedBits;
             result_.failedCodewords = report.failedCodewords;
+            result_.maxCodewordBits = report.maxCodewordBits;
             if (report.failedCodewords != 0
                 && retries_ < ctrl_.maxReadRetries()) {
                 // Retry-capable RTL: step the vendor retry level and

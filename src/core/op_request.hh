@@ -50,6 +50,12 @@ struct OpResult
     /** ECC accounting (reads). */
     std::uint32_t correctedBits = 0;
     std::uint32_t failedCodewords = 0;
+    /** ECC_NEAR_MISS status: raw errors in the dirtiest codeword of the
+     *  final (successful) transfer. The remaining correctable-error
+     *  margin is the engine's capability minus this — the scrubber
+     *  refreshes pages whose margin has worn thin before they tip into
+     *  uncorrectable territory. */
+    std::uint32_t maxCodewordBits = 0;
 
     /** Read-retry attempts consumed before success (reads). */
     std::uint32_t retries = 0;

@@ -181,6 +181,7 @@ RtosReadOp::onMessage(cpu::RtosKernel &kernel, std::uint64_t msg)
       case St::WaitTransfer: {
         res_.correctedBits = lastTxn().eccCorrectedBits;
         res_.failedCodewords = lastTxn().eccFailedCodewords;
+        res_.maxCodewordBits = lastTxn().eccMaxCodewordBits;
         bool failed = lastTxn().eccFailedCodewords != 0;
         if (failed && retries_ < ctrl_.maxReadRetries()) {
             // Read-retry escalation: step the vendor retry level via

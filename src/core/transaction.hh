@@ -31,6 +31,8 @@ struct TxnResult
     /** ECC outcome for DMA-ed reads with correction enabled. */
     std::uint32_t eccCorrectedBits = 0;
     std::uint32_t eccFailedCodewords = 0;
+    /** Raw errors in the dirtiest codeword (near-miss margin input). */
+    std::uint32_t eccMaxCodewordBits = 0;
 };
 
 struct Transaction

@@ -22,7 +22,8 @@ FaultEngine::FaultEngine()
     faultMetrics_.value("injected", [this] { return injected_; });
     for (FaultKind k : {FaultKind::BitBurst, FaultKind::ProgFail,
                         FaultKind::EraseFail, FaultKind::StuckBusy,
-                        FaultKind::Drift, FaultKind::PowerCut}) {
+                        FaultKind::Drift, FaultKind::PowerCut,
+                        FaultKind::DieFail, FaultKind::BlockFail}) {
         faultMetrics_.value(toString(k), [this, k] {
             return injectedKind_[static_cast<std::size_t>(k)];
         });
@@ -45,6 +46,7 @@ FaultEngine::arm(FaultPlan plan)
     state_.assign(plan_.faults.size(), SpecState{});
     rng_ = Rng(plan_.seed);
     suppressUntil_.clear();
+    deadRegions_.clear();
     injected_ = 0;
     std::fill(std::begin(injectedKind_), std::end(injectedKind_), 0);
     retrySteps_ = 0;
@@ -63,6 +65,7 @@ FaultEngine::disarm()
     plan_ = FaultPlan{};
     state_.clear();
     suppressUntil_.clear();
+    deadRegions_.clear();
 }
 
 bool
@@ -143,6 +146,17 @@ FaultEngine::onRead(std::string_view lun, std::uint32_t block,
                                        spec.bits));
             }
             break;
+          case FaultKind::DieFail:
+          case FaultKind::BlockFail:
+            if (strike(spec, st)) {
+                deadRegions_.push_back(
+                    {spec.where,
+                     spec.kind == FaultKind::DieFail ? 0 : spec.blockLo,
+                     spec.kind == FaultKind::DieFail ? ~0u : spec.blockHi});
+                recordInjection(spec, lun, now,
+                                strfmt("b%u p%u", block, page));
+            }
+            break;
           case FaultKind::Drift:
             if (!st.driftActive && strike(spec, st)) {
                 st.driftActive = true;
@@ -180,19 +194,31 @@ FaultEngine::onProgram(std::string_view lun, std::uint32_t block,
     if (!armed())
         return false;
     std::lock_guard<std::mutex> lk(mu_);
+    bool fail = false;
     for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
         const FaultSpec &spec = plan_.faults[i];
-        if (spec.kind != FaultKind::ProgFail ||
-            !matches(spec, lun, block, page)) {
+        if (!matches(spec, lun, block, page))
             continue;
-        }
-        if (strike(spec, state_[i])) {
-            recordInjection(spec, lun, now,
-                            strfmt("b%u p%u", block, page));
-            return true;
+        if (spec.kind == FaultKind::ProgFail) {
+            if (strike(spec, state_[i])) {
+                recordInjection(spec, lun, now,
+                                strfmt("b%u p%u", block, page));
+                fail = true;
+            }
+        } else if (spec.kind == FaultKind::DieFail ||
+                   spec.kind == FaultKind::BlockFail) {
+            if (strike(spec, state_[i])) {
+                deadRegions_.push_back(
+                    {spec.where,
+                     spec.kind == FaultKind::DieFail ? 0 : spec.blockLo,
+                     spec.kind == FaultKind::DieFail ? ~0u
+                                                     : spec.blockHi});
+                recordInjection(spec, lun, now,
+                                strfmt("b%u p%u", block, page));
+            }
         }
     }
-    return false;
+    return fail || deadAtLocked(lun, block);
 }
 
 bool
@@ -201,18 +227,100 @@ FaultEngine::onErase(std::string_view lun, std::uint32_t block, Tick now)
     if (!armed())
         return false;
     std::lock_guard<std::mutex> lk(mu_);
+    bool fail = false;
     for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
         const FaultSpec &spec = plan_.faults[i];
-        if (spec.kind != FaultKind::EraseFail ||
-            !matches(spec, lun, block, 0)) {
+        if (!matches(spec, lun, block, 0))
             continue;
-        }
-        if (strike(spec, state_[i])) {
-            recordInjection(spec, lun, now, strfmt("b%u", block));
-            return true;
+        if (spec.kind == FaultKind::EraseFail) {
+            if (strike(spec, state_[i])) {
+                recordInjection(spec, lun, now, strfmt("b%u", block));
+                fail = true;
+            }
+        } else if (spec.kind == FaultKind::DieFail ||
+                   spec.kind == FaultKind::BlockFail) {
+            if (strike(spec, state_[i])) {
+                deadRegions_.push_back(
+                    {spec.where,
+                     spec.kind == FaultKind::DieFail ? 0 : spec.blockLo,
+                     spec.kind == FaultKind::DieFail ? ~0u
+                                                     : spec.blockHi});
+                recordInjection(spec, lun, now, strfmt("b%u", block));
+            }
         }
     }
+    return fail || deadAtLocked(lun, block);
+}
+
+bool
+FaultEngine::deadAtLocked(std::string_view lun, std::uint32_t block) const
+{
+    for (const DeadRegion &r : deadRegions_) {
+        if (!r.where.empty() &&
+            lun.find(r.where) == std::string_view::npos) {
+            continue;
+        }
+        if (block >= r.blockLo && block <= r.blockHi)
+            return true;
+    }
     return false;
+}
+
+bool
+FaultEngine::deadAt(std::string_view lun, std::uint32_t block) const
+{
+    if (!armed())
+        return false;
+    std::lock_guard<std::mutex> lk(mu_);
+    return deadAtLocked(lun, block);
+}
+
+bool
+FaultEngine::dieDead(std::string_view lun) const
+{
+    if (!armed())
+        return false;
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const DeadRegion &r : deadRegions_) {
+        if (!r.where.empty() &&
+            lun.find(r.where) == std::string_view::npos) {
+            continue;
+        }
+        if (r.blockLo == 0 && r.blockHi == ~0u)
+            return true;
+    }
+    return false;
+}
+
+void
+FaultEngine::failDie(std::string_view where, Tick now)
+{
+    babol_assert(armed(), "failDie needs an armed engine (arm a plan, "
+                          "even an empty one, first)");
+    std::lock_guard<std::mutex> lk(mu_);
+    deadRegions_.push_back({std::string(where), 0, ~0u});
+    ++injected_;
+    ++injectedKind_[static_cast<std::size_t>(FaultKind::DieFail)];
+    append(now, strfmt("inject diefail %.*s",
+                       static_cast<int>(where.size()), where.data()));
+    obs::trace().instant(obsTrack_, lblInject_, now, obs::currentCtx(),
+                         static_cast<std::uint64_t>(FaultKind::DieFail));
+}
+
+void
+FaultEngine::failBlock(std::string_view where, std::uint32_t block_lo,
+                       std::uint32_t block_hi, Tick now)
+{
+    babol_assert(armed(), "failBlock needs an armed engine");
+    std::lock_guard<std::mutex> lk(mu_);
+    deadRegions_.push_back({std::string(where), block_lo, block_hi});
+    ++injected_;
+    ++injectedKind_[static_cast<std::size_t>(FaultKind::BlockFail)];
+    append(now, strfmt("inject blockfail %.*s b%u-%u",
+                       static_cast<int>(where.size()), where.data(),
+                       block_lo, block_hi));
+    obs::trace().instant(obsTrack_, lblInject_, now, obs::currentCtx(),
+                         static_cast<std::uint64_t>(FaultKind::BlockFail));
 }
 
 Tick
@@ -316,7 +424,7 @@ FaultEngine::summary() const
 {
     return strfmt("faults injected=%llu (bitburst=%llu progfail=%llu "
                   "erasefail=%llu stuckbusy=%llu drift=%llu "
-                  "powercut=%llu) "
+                  "powercut=%llu diefail=%llu blockfail=%llu) "
                   "retry.steps=%llu remap.count=%llu timeouts=%llu "
                   "suppressed=%llu",
                   static_cast<unsigned long long>(injected_),
@@ -332,6 +440,10 @@ FaultEngine::summary() const
                       injectedOf(FaultKind::Drift)),
                   static_cast<unsigned long long>(
                       injectedOf(FaultKind::PowerCut)),
+                  static_cast<unsigned long long>(
+                      injectedOf(FaultKind::DieFail)),
+                  static_cast<unsigned long long>(
+                      injectedOf(FaultKind::BlockFail)),
                   static_cast<unsigned long long>(retrySteps_),
                   static_cast<unsigned long long>(remaps_),
                   static_cast<unsigned long long>(timeouts_),

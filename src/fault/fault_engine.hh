@@ -106,6 +106,27 @@ class FaultEngine
     /** Erase verify hook: true = force the FAIL bit. */
     bool onErase(std::string_view lun, std::uint32_t block, Tick now);
 
+    /**
+     * True when @p block of the LUN sits in a region a DieFail or
+     * BlockFail has killed. The NAND layer fails every op on a dead
+     * region: reads come back uncorrectable, program/erase raise FAIL.
+     */
+    bool deadAt(std::string_view lun, std::uint32_t block) const;
+
+    /** True when an entire die matching @p lun is dead — a DieFail
+     *  region covering every block (BlockFail regions don't count).
+     *  The FTL uses this to tell die loss from block loss. */
+    bool dieDead(std::string_view lun) const;
+
+    /** Kill a die immediately (harness-driven `--diefail-at`): every
+     *  LUN whose name contains @p where is dead from @p now on. The
+     *  engine must be armed (campaigns arm at least an empty plan). */
+    void failDie(std::string_view where, Tick now);
+
+    /** Kill one block range immediately (harness-driven). */
+    void failBlock(std::string_view where, std::uint32_t block_lo,
+                   std::uint32_t block_hi, Tick now);
+
     /** Array-op scheduling hook: extra busy ticks (StuckBusy). */
     Tick onArrayOp(std::string_view lun, OpClass op, Tick duration,
                    Tick now);
@@ -161,11 +182,21 @@ class FaultEngine
         bool driftActive = false; //!< Drift latched, not yet recovered
     };
 
+    /** A region of flash killed by DieFail/BlockFail. */
+    struct DeadRegion
+    {
+        std::string where; //!< LUN-name substring (empty = every LUN)
+        std::uint32_t blockLo = 0;
+        std::uint32_t blockHi = ~0u;
+    };
+
     bool matches(const FaultSpec &spec, std::string_view lun,
                  std::uint32_t block, std::uint32_t page) const;
 
     /** Occurrence bookkeeping: arm on nth, bound by count. */
     bool strike(const FaultSpec &spec, SpecState &st);
+
+    bool deadAtLocked(std::string_view lun, std::uint32_t block) const;
 
     void recordInjection(const FaultSpec &spec, std::string_view lun,
                          Tick now, const std::string &detail);
@@ -180,8 +211,10 @@ class FaultEngine
     /** Per-LUN tick until which violations are fault-expected. */
     std::unordered_map<std::string, Tick> suppressUntil_;
 
+    std::vector<DeadRegion> deadRegions_;
+
     std::uint64_t injected_ = 0;
-    std::uint64_t injectedKind_[6] = {};
+    std::uint64_t injectedKind_[8] = {};
     std::uint64_t retrySteps_ = 0;
     std::uint64_t remaps_ = 0;
     std::uint64_t timeouts_ = 0;

@@ -23,6 +23,10 @@ toString(FaultKind k)
         return "drift";
       case FaultKind::PowerCut:
         return "powercut";
+      case FaultKind::DieFail:
+        return "diefail";
+      case FaultKind::BlockFail:
+        return "blockfail";
     }
     return "?";
 }
@@ -34,7 +38,8 @@ kindFromString(const std::string &s, int line_no)
 {
     for (FaultKind k : {FaultKind::BitBurst, FaultKind::ProgFail,
                         FaultKind::EraseFail, FaultKind::StuckBusy,
-                        FaultKind::Drift, FaultKind::PowerCut}) {
+                        FaultKind::Drift, FaultKind::PowerCut,
+                        FaultKind::DieFail, FaultKind::BlockFail}) {
         if (s == toString(k))
             return k;
     }

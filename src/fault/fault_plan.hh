@@ -14,6 +14,8 @@
  *   fault erasefail where=pkg2 nth=2
  *   fault stuckbusy where=pkg5 nth=8 count=2 extra_us=400
  *   fault drift     where=pkg4 nth=5 level=2 bits=40
+ *   fault diefail   where=pkg2 nth=30
+ *   fault blockfail where=pkg0 block=3-4 nth=12
  *
  * Matching is by LUN-name substring (`where=`, empty matches every LUN)
  * plus optional block/page ranges. `nth` arms the spec on the Nth
@@ -45,6 +47,10 @@ enum class FaultKind : std::uint8_t {
                //!< in-flight programs tear, DRAM-buffered state drops;
                //!< driven by the crash harness (ssd_fio --crash-plan),
                //!< which remounts and verifies recovery
+    DieFail,   //!< the nth matching media op kills the whole die: every
+               //!< later read on it is uncorrectable, every program and
+               //!< erase fails — survivable only through RAIN parity
+    BlockFail, //!< like DieFail but scoped to the spec's block range
 };
 
 const char *toString(FaultKind k);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fault/fault_engine.hh"
+#include "obs/audit/auditor.hh"
 
 namespace babol::ftl {
 
@@ -31,6 +32,8 @@ struct PageFtl::MountScan
     std::vector<std::vector<std::vector<std::uint64_t>>> pageSeq;
     /** Grown defects recovered from OOB journal entries. */
     std::vector<std::vector<std::uint8_t>> defect;
+    /** Max erase count seen in erase-journal entries, [chip][block]. */
+    std::vector<std::vector<std::uint32_t>> eraseJ;
     std::uint64_t maxSeq = 0;
 };
 
@@ -63,6 +66,11 @@ PageFtl::PageFtl(EventQueue &eq, const std::string &name,
     metrics_.value("mount_torn_pages", [this] { return mountTornPages_; });
     metrics_.value("wb_hits", [this] { return wbHits_; });
     metrics_.value("wb_flushes", [this] { return wbFlushes_; });
+    metrics_.value("read_failures", [this] { return readFailures_; });
+    metrics_.value("refresh_moves", [this] { return refreshes_; });
+    // The reliability-campaign gate: a read acked with uncorrectable
+    // data that nothing could rebuild.
+    metrics_.value("reliability.data-loss", [this] { return dataLoss_; });
 
     const std::uint32_t chips = backend_.backendChipCount();
     babol_assert(cfg_.blocksPerChip <=
@@ -93,10 +101,11 @@ PageFtl::PageFtl(EventQueue &eq, const std::string &name,
     // DRAM layout, top down: one move-staging page per chip (GC, WL and
     // the mount scan each stage through their chip's page so concurrent
     // background moves cannot clobber each other), then the write
-    // buffer. Everything below is the host's.
+    // buffer, then the reliability staging slots (refresh moves, patrol
+    // reads, RAIN parity/rebuild). Everything below is the host's.
     const std::uint64_t reserve =
         static_cast<std::uint64_t>(pageBytes_) *
-        (chips + cfg_.writeBufferPages);
+        (chips + cfg_.writeBufferPages + cfg_.reliabilityScratchPages);
     babol_assert(backend_.backendDram().size() >= reserve,
                  "DRAM too small for the FTL staging regions");
     gcScratchAddr_ = backend_.backendDram().size() -
@@ -104,17 +113,20 @@ PageFtl::PageFtl(EventQueue &eq, const std::string &name,
     wbBase_ = gcScratchAddr_ -
               static_cast<std::uint64_t>(pageBytes_) * cfg_.writeBufferPages;
     wbSlots_.resize(cfg_.writeBufferPages);
+    reliabilityScratchBase_ =
+        wbBase_ -
+        static_cast<std::uint64_t>(pageBytes_) * cfg_.reliabilityScratchPages;
 }
 
 std::uint64_t
-PageFtl::packPpa(const Ppa &p) const
+PageFtl::packPpa(const Ppa &p)
 {
     return (static_cast<std::uint64_t>(p.chip) << 40) |
            (static_cast<std::uint64_t>(p.block) << 20) | p.page;
 }
 
 Ppa
-PageFtl::unpackPpa(std::uint64_t packed) const
+PageFtl::unpackPpa(std::uint64_t packed)
 {
     Ppa p;
     p.chip = static_cast<std::uint32_t>(packed >> 40);
@@ -216,6 +228,8 @@ PageFtl::mount(Callback cb)
                    std::vector<std::uint64_t>(pagesPerBlock_, 0)));
     ms.defect.assign(chips,
                      std::vector<std::uint8_t>(cfg_.blocksPerChip, 0));
+    ms.eraseJ.assign(chips,
+                     std::vector<std::uint32_t>(cfg_.blocksPerChip, 0));
 
     for (std::uint32_t c = 0; c < chips; ++c)
         mountScanNext(c);
@@ -263,7 +277,12 @@ PageFtl::mountScanNext(std::uint32_t chip)
             if (auto rec = decodeOob(tail)) {
                 ms.maxSeq = std::max(ms.maxSeq, rec->seq);
                 ms.pageSeq[chip][b][p] = rec->seq;
-                if (rec->lpn < logicalPages_) {
+                // RAIN parity pages never enter the L2P map: their lpn
+                // field is a stripe id, not a logical address. The page
+                // stays dead weight until its block is reclaimed (the
+                // stripe map itself is volatile by design).
+                if (rec->state != OobState::RainParity &&
+                    rec->lpn < logicalPages_) {
                     bi.pageLpn[p] = rec->lpn;
                     // Highest seq wins. Equal seqs only happen when a
                     // GC/WL move duplicated a copy and the crash landed
@@ -282,6 +301,12 @@ PageFtl::mountScanNext(std::uint32_t chip)
                 if (rec->defectEntry != OobRecord::kNoDefect &&
                     rec->defectEntry < cfg_.blocksPerChip) {
                     ms.defect[chip][rec->defectEntry] = 1;
+                }
+                if (rec->eraseEntry != OobRecord::kNoErase &&
+                    rec->eraseEntry < cfg_.blocksPerChip) {
+                    ms.eraseJ[chip][rec->eraseEntry] =
+                        std::max(ms.eraseJ[chip][rec->eraseEntry],
+                                 rec->eraseEntryCount);
                 }
             } else {
                 // Consumed but no copy of the record survives: a torn
@@ -311,14 +336,22 @@ PageFtl::finishMount()
         for (std::uint32_t b = 0; b < cfg_.blocksPerChip; ++b) {
             BlockInfo &bi = cs.blocks[b];
             bi.bad = ms.defect[c][b] != 0;
+            // Erase-journal merge: a free block's own OOB went with its
+            // erase, but the erase was journalled through subsequent
+            // programs on the chip — its count no longer restarts at 0
+            // (the ROADMAP-flagged gap). max() keeps the block's own
+            // newer records authoritative when it was reprogrammed.
+            bi.eraseCount = std::max(bi.eraseCount, ms.eraseJ[c][b]);
             if (bi.written == 0) {
-                // Never programmed since its last erase. Its erase count
-                // is unrecoverable from OOB alone (the records went with
-                // the data) — it restarts at 0, a documented gap that
-                // only softens wear levelling, never correctness.
                 if (!bi.bad) {
                     bi.erased = true;
                     cs.freeBlocks.push_back(b);
+                    // Re-journal the recovered count: it lives only in
+                    // other blocks' OOB records, which GC will erase
+                    // eventually — riding out with the next programs
+                    // keeps it durable across repeated remounts.
+                    if (bi.eraseCount > 0)
+                        cs.eraseJournal.push_back({b, bi.eraseCount});
                 }
                 continue;
             }
@@ -367,6 +400,14 @@ PageFtl::readPage(std::uint64_t lpn, std::uint64_t dram_addr, Callback cb)
     babol_assert(lpn < logicalPages_, "LPN %llu out of range",
                  static_cast<unsigned long long>(lpn));
 
+    // Track in-flight host I/O: the patrol scrubber yields while any is
+    // outstanding.
+    ++hostInflight_;
+    cb = [this, inner = std::move(cb)](bool ok) {
+        --hostInflight_;
+        inner(ok);
+    };
+
     // The write buffer holds the freshest copy of anything in it. A
     // slot being flushed may be shadowed by a younger non-flushing slot
     // for the same LPN — prefer the younger one.
@@ -401,6 +442,7 @@ PageFtl::readPage(std::uint64_t lpn, std::uint64_t dram_addr, Callback cb)
     }
     ++hostReads_;
     Ppa ppa = unpackPpa(map_[lpn]);
+    ++chips_[ppa.chip].blocks[ppa.block].hostReads;
 
     const obs::SpanId span = obs::trace().beginSpan(
         obsTrack_, lblRead_, curTick(), obs::currentCtx(), lpn);
@@ -411,9 +453,42 @@ PageFtl::readPage(std::uint64_t lpn, std::uint64_t dram_addr, Callback cb)
     req.row = {0, ppa.block, ppa.page};
     req.dramAddr = dram_addr;
     req.ctx.span = span;
-    req.onComplete = [cb, span](OpResult r) {
+    req.onComplete = [this, cb, span, lpn, ppa, dram_addr](OpResult r) {
+        if (r.ok) {
+            // Audit invariant: an acknowledged read is never served
+            // straight off a dead die — a dead region fails every
+            // codeword by construction, so a success here means the
+            // decay model and the fault model disagree.
+            auto &aud = obs::audit::auditor();
+            if (aud.armed() && chipDead(ppa.chip)) {
+                aud.report(obs::audit::Check::Reliability,
+                           "rain.dead-die-serve", name(), r.doneTick,
+                           strfmt("read of LPN %llu acked from dead "
+                                  "chip %u",
+                                  static_cast<unsigned long long>(lpn),
+                                  ppa.chip));
+            }
+            obs::trace().endSpan(span, r.doneTick);
+            cb(true);
+            return;
+        }
+        // Uncorrectable after every retry level. See whether a die-wide
+        // dead region is underneath, then hand the page to the RAIN
+        // manager for an XOR rebuild from the surviving stripe members.
+        ++readFailures_;
+        noteChipFault(ppa.chip);
+        if (onReadFailed) {
+            onReadFailed(lpn, ppa, dram_addr, [this, cb, span](bool ok) {
+                if (!ok)
+                    ++dataLoss_;
+                obs::trace().endSpan(span, curTick());
+                cb(ok);
+            });
+            return;
+        }
+        ++dataLoss_;
         obs::trace().endSpan(span, r.doneTick);
-        cb(r.ok);
+        cb(false);
     };
     backend_.submit(std::move(req));
 }
@@ -424,6 +499,11 @@ PageFtl::writePage(std::uint64_t lpn, std::uint64_t dram_addr, Callback cb)
     babol_assert(lpn < logicalPages_, "LPN %llu out of range",
                  static_cast<unsigned long long>(lpn));
     ++hostWrites_;
+    ++hostInflight_;
+    cb = [this, inner = std::move(cb)](bool ok) {
+        --hostInflight_;
+        inner(ok);
+    };
     if (!wbSlots_.empty()) {
         bufferWrite(lpn, dram_addr, std::move(cb));
         return;
@@ -557,11 +637,9 @@ void
 PageFtl::allocateAndWrite(std::uint64_t lpn, std::uint64_t dram_addr,
                           Callback cb, std::uint32_t retries,
                           obs::SpanId span, OobState state,
-                          std::uint64_t move_seq)
+                          std::uint64_t move_seq,
+                          std::int32_t preferred_chip)
 {
-    std::uint32_t chip = writeCursor_ % chips_.size();
-    writeCursor_ = (writeCursor_ + 1) %
-                   static_cast<std::uint32_t>(chips_.size());
     PendingWrite pw;
     pw.lpn = lpn;
     pw.dramAddr = dram_addr;
@@ -575,6 +653,26 @@ PageFtl::allocateAndWrite(std::uint64_t lpn, std::uint64_t dram_addr,
     // copy win both the live map and mount-time arbitration).
     pw.moveSeq = move_seq != 0 ? move_seq : seq_++;
     pw.span = span;
+    enqueueWrite(std::move(pw), preferred_chip);
+}
+
+void
+PageFtl::enqueueWrite(PendingWrite pw, std::int32_t preferred_chip)
+{
+    const auto nchips = static_cast<std::uint32_t>(chips_.size());
+    std::uint32_t chip;
+    if (preferred_chip >= 0 &&
+        static_cast<std::uint32_t>(preferred_chip) < nchips &&
+        !chipDead(static_cast<std::uint32_t>(preferred_chip))) {
+        // Steered (scrub refresh to the coldest chip, RAIN parity off
+        // the stripe's member chips): does not advance the host cursor.
+        chip = static_cast<std::uint32_t>(preferred_chip);
+    } else {
+        chip = writeCursor_ % nchips;
+        for (std::uint32_t i = 0; i < nchips && chipDead(chip); ++i)
+            chip = (chip + 1) % nchips;
+        writeCursor_ = (chip + 1) % nchips;
+    }
     chips_[chip].writeQueue.push_back(std::move(pw));
     pumpWrites(chip);
 }
@@ -666,35 +764,65 @@ PageFtl::startEraseBeforeUse(std::uint32_t chip, std::uint32_t block)
     cs.erasePending = true;
     ++erases_;
 
-    FlashRequest req;
-    req.kind = FlashOpKind::Erase;
-    req.chip = chip;
-    req.row = {0, block, 0};
-    req.onComplete = [this, chip, block](OpResult r) {
-        ChipState &state = chips_[chip];
-        state.erasePending = false;
-        BlockInfo &bi = state.blocks[block];
-        if (!r.ok) {
-            // Worn out: take it out of service; queued writes re-route
-            // through the next pumpWrites pass.
-            retireBlock(chip, block);
-        } else {
-            bi.erased = true;
-            ++bi.eraseCount;
-            bi.written = 0;
-            bi.programmed = 0;
-            bi.valid = 0;
-            std::fill(bi.pageLpn.begin(), bi.pageLpn.end(), kUnmapped);
-        }
-        pumpWrites(chip);
-        maybeStartWearLevel(chip);
+    auto submit = [this, chip, block] {
+        FlashRequest req;
+        req.kind = FlashOpKind::Erase;
+        req.chip = chip;
+        req.row = {0, block, 0};
+        req.onComplete = [this, chip, block](OpResult r) {
+            ChipState &state = chips_[chip];
+            state.erasePending = false;
+            BlockInfo &bi = state.blocks[block];
+            if (!r.ok) {
+                // Worn out: take it out of service; queued writes
+                // re-route through the next pumpWrites pass.
+                noteChipFault(chip);
+                retireBlock(chip, block);
+            } else {
+                bi.erased = true;
+                ++bi.eraseCount;
+                bi.written = 0;
+                bi.programmed = 0;
+                bi.valid = 0;
+                bi.hostReads = 0;
+                std::fill(bi.pageLpn.begin(), bi.pageLpn.end(),
+                          kUnmapped);
+                pushEraseJournal(chip, block);
+            }
+            pumpWrites(chip);
+            maybeStartWearLevel(chip);
+        };
+        backend_.submit(std::move(req));
     };
-    backend_.submit(std::move(req));
+    // RAIN release protocol: stripes with a unit on this block lose it
+    // to the erase — the manager refreshes their live members first.
+    if (beforeErase)
+        beforeErase(chip, block, std::move(submit));
+    else
+        submit();
+}
+
+/** Journal a completed erase (block + post-erase count) for the chip's
+ *  next OOB records, replacing any stale entry for the same block. */
+void
+PageFtl::pushEraseJournal(std::uint32_t chip, std::uint32_t block)
+{
+    ChipState &cs = chips_[chip];
+    const std::uint32_t count = cs.blocks[block].eraseCount;
+    for (auto &e : cs.eraseJournal) {
+        if (e.first == block) {
+            e.second = count;
+            return;
+        }
+    }
+    cs.eraseJournal.push_back({block, count});
 }
 
 void
 PageFtl::pumpWrites(std::uint32_t chip)
 {
+    if (chipDead(chip))
+        return; // markChipDead already rerouted this queue
     ChipState &cs = chips_[chip];
     while (!cs.writeQueue.empty()) {
         // Host writes honour the GC reserve; GC/WL moves may take the
@@ -774,8 +902,13 @@ PageFtl::pumpWrites(std::uint32_t chip)
                             static_cast<std::ptrdiff_t>(pick));
 
         std::uint32_t page = bi.written++;
-        bi.pageLpn[page] = write.lpn;
-        ++bi.valid;
+        if (write.state != OobState::RainParity) {
+            bi.pageLpn[page] = write.lpn;
+            ++bi.valid;
+        }
+        // Parity pages stay out of the reverse map and the valid count:
+        // they are dead weight GC reclaims with the block, and their
+        // lpn field is a stripe id, not a logical address.
 
         // The OOB record travels in the same array commit as the data:
         // a power cut either lands both or tears both.
@@ -788,8 +921,16 @@ PageFtl::pumpWrites(std::uint32_t chip)
             rec.defectEntry = cs.defectJournal.front();
             cs.defectJournal.pop_front();
         }
+        if (!cs.eraseJournal.empty()) {
+            rec.eraseEntry = cs.eraseJournal.front().first;
+            rec.eraseEntryCount =
+                std::min(cs.eraseJournal.front().second, 0xFFFEu);
+            cs.eraseJournal.pop_front();
+        }
         const std::uint64_t wseq = rec.seq;
         const std::uint32_t journalled = rec.defectEntry;
+        const std::uint32_t ejBlock = rec.eraseEntry;
+        const std::uint32_t ejCount = rec.eraseEntryCount;
 
         FlashRequest req;
         req.kind = FlashOpKind::Program;
@@ -799,9 +940,36 @@ PageFtl::pumpWrites(std::uint32_t chip)
         req.oob = encodeOob(rec, oobBytes_);
         req.ctx.span = write.span;
         req.onComplete = [this, chip, block, page, wseq, journalled,
+                          ejBlock, ejCount,
                           write = std::move(write)](OpResult r) mutable {
             BlockInfo &info = chips_[chip].blocks[block];
             ++info.programmed;
+            if (write.state == OobState::RainParity) {
+                // Parity bypasses the map entirely: report where it
+                // landed (or reroute on a program failure, like any
+                // other write).
+                if (r.ok) {
+                    if (write.parityCb)
+                        write.parityCb(true, {chip, block, page});
+                } else {
+                    if (journalled != OobRecord::kNoDefect)
+                        chips_[chip].defectJournal.push_front(journalled);
+                    if (ejBlock != OobRecord::kNoErase)
+                        chips_[chip].eraseJournal.push_front(
+                            {ejBlock, ejCount});
+                    noteChipFault(chip);
+                    retireBlock(chip, block);
+                    if (write.retries + 1 > cfg_.maxWriteRetries) {
+                        if (write.parityCb)
+                            write.parityCb(false, {chip, block, page});
+                    } else {
+                        ++write.retries;
+                        enqueueWrite(std::move(write), -1);
+                    }
+                }
+                maybeStartGc(chip);
+                return;
+            }
             if (r.ok) {
                 // '>=': a GC/WL move reuses the seq of the copy it
                 // relocates, so equality means "same generation, new
@@ -811,6 +979,13 @@ PageFtl::pumpWrites(std::uint32_t chip)
                     invalidate(write.lpn);
                     map_[write.lpn] = packPpa({chip, block, page});
                     mapSeq_[write.lpn] = wseq;
+                    // The committed page joins the RAIN manager's open
+                    // stripe; its bytes are still intact in DRAM (the
+                    // source buffer is pinned until this ack).
+                    if (onProgramCommitted) {
+                        onProgramCommitted({chip, block, page}, write.lpn,
+                                           write.dramAddr, write.state);
+                    }
                 } else {
                     // A younger write to the same LPN completed first
                     // (cross-chip reorder): this copy is durable but
@@ -829,6 +1004,9 @@ PageFtl::pumpWrites(std::uint32_t chip)
                 --info.valid;
                 if (journalled != OobRecord::kNoDefect)
                     chips_[chip].defectJournal.push_front(journalled);
+                if (ejBlock != OobRecord::kNoErase)
+                    chips_[chip].eraseJournal.push_front({ejBlock, ejCount});
+                noteChipFault(chip);
                 retireBlock(chip, block);
                 if (write.retries + 1 > cfg_.maxWriteRetries) {
                     warn("%s: write of LPN %llu failed %u times; giving "
@@ -876,7 +1054,7 @@ void
 PageFtl::maybeStartGc(std::uint32_t chip)
 {
     ChipState &cs = chips_[chip];
-    if (cs.gcInProgress || cs.wlInProgress ||
+    if (chipDead(chip) || cs.gcInProgress || cs.wlInProgress ||
         cs.freeBlocks.size() >= cfg_.gcLowWater) {
         return;
     }
@@ -910,7 +1088,7 @@ PageFtl::maybeStartGc(std::uint32_t chip)
 void
 PageFtl::maybeStartWearLevel(std::uint32_t chip)
 {
-    if (cfg_.wearSpreadThreshold == 0)
+    if (cfg_.wearSpreadThreshold == 0 || chipDead(chip))
         return;
     ChipState &cs = chips_[chip];
     // Never compete with GC: static WL is a background activity. It may
@@ -962,6 +1140,18 @@ PageFtl::moveNext(std::uint32_t chip, std::uint32_t victim,
     const std::uint64_t scratch =
         gcScratchAddr_ + static_cast<std::uint64_t>(chip) * pageBytes_;
 
+    if (chipDead(chip)) {
+        // The die died under the migration: nothing on it can be read,
+        // programmed or erased any more. The on-demand / sweep rebuild
+        // paths recover what the map still needs.
+        if (mode == OobState::WlMove)
+            cs.wlInProgress = false;
+        else
+            cs.gcInProgress = false;
+        cs.activeReserved = false;
+        return;
+    }
+
     // Skip invalid pages.
     while (page < pagesPerBlock_ && bi.pageLpn[page] == kUnmapped)
         ++page;
@@ -969,44 +1159,55 @@ PageFtl::moveNext(std::uint32_t chip, std::uint32_t victim,
     if (page >= pagesPerBlock_) {
         // All valid pages relocated: reclaim the block.
         ++erases_;
-        FlashRequest req;
-        req.kind = FlashOpKind::Erase;
-        req.chip = chip;
-        req.row = {0, victim, 0};
-        req.onComplete = [this, chip, victim, mode](OpResult r) {
-            ChipState &state = chips_[chip];
-            BlockInfo &info = state.blocks[victim];
-            if (mode == OobState::WlMove)
-                state.wlInProgress = false;
-            else
-                state.gcInProgress = false;
-            if (r.ok) {
-                info.erased = true;
-                ++info.eraseCount;
-                info.written = 0;
-                info.programmed = 0;
-                info.valid = 0;
-                std::fill(info.pageLpn.begin(), info.pageLpn.end(),
-                          kUnmapped);
-                state.freeBlocks.push_back(victim);
-                // The migration paid off: whatever room is left in a
-                // reserve-carved active block is the host's again.
-                state.activeReserved = false;
-            } else {
-                retireBlock(chip, victim);
-            }
-            maybeStartGc(chip);
-            // A failed erase never returned the victim to the pool. If
-            // a follow-up migration just started, keep holding a
-            // reserve-carved active block for its moves — releasing it
-            // here lets the host fill the last pages on the chip and
-            // wedge it with no free page to relocate anything into.
-            if (!state.gcInProgress && !state.wlInProgress)
-                state.activeReserved = false;
-            pumpWrites(chip);
-            maybeStartWearLevel(chip);
+        auto submit = [this, chip, victim, mode] {
+            FlashRequest req;
+            req.kind = FlashOpKind::Erase;
+            req.chip = chip;
+            req.row = {0, victim, 0};
+            req.onComplete = [this, chip, victim, mode](OpResult r) {
+                ChipState &state = chips_[chip];
+                BlockInfo &info = state.blocks[victim];
+                if (mode == OobState::WlMove)
+                    state.wlInProgress = false;
+                else
+                    state.gcInProgress = false;
+                if (r.ok) {
+                    info.erased = true;
+                    ++info.eraseCount;
+                    info.written = 0;
+                    info.programmed = 0;
+                    info.valid = 0;
+                    info.hostReads = 0;
+                    std::fill(info.pageLpn.begin(), info.pageLpn.end(),
+                              kUnmapped);
+                    state.freeBlocks.push_back(victim);
+                    pushEraseJournal(chip, victim);
+                    // The migration paid off: whatever room is left in
+                    // a reserve-carved active block is the host's
+                    // again.
+                    state.activeReserved = false;
+                } else {
+                    noteChipFault(chip);
+                    retireBlock(chip, victim);
+                }
+                maybeStartGc(chip);
+                // A failed erase never returned the victim to the
+                // pool. If a follow-up migration just started, keep
+                // holding a reserve-carved active block for its moves
+                // — releasing it here lets the host fill the last
+                // pages on the chip and wedge it with no free page to
+                // relocate anything into.
+                if (!state.gcInProgress && !state.wlInProgress)
+                    state.activeReserved = false;
+                pumpWrites(chip);
+                maybeStartWearLevel(chip);
+            };
+            backend_.submit(std::move(req));
         };
-        backend_.submit(std::move(req));
+        if (beforeErase)
+            beforeErase(chip, victim, std::move(submit));
+        else
+            submit();
         return;
     }
 
@@ -1034,12 +1235,44 @@ PageFtl::moveNext(std::uint32_t chip, std::uint32_t victim,
             return;
         }
         if (!r.ok) {
-            warn("%s: %s read of block %u page %u failed; data lost",
-                 name().c_str(),
-                 mode == OobState::WlMove ? "WL" : "GC", victim, page);
-            if (map_[lpn] == packPpa({chip, victim, page}))
-                invalidate(lpn);
-            moveNext(chip, victim, page + 1, mode);
+            noteChipFault(chip);
+            ++readFailures_;
+            auto giveUp = [this, chip, victim, page, lpn, mode] {
+                warn("%s: %s read of block %u page %u failed; data lost",
+                     name().c_str(),
+                     mode == OobState::WlMove ? "WL" : "GC", victim,
+                     page);
+                ++dataLoss_;
+                if (map_[lpn] == packPpa({chip, victim, page}))
+                    invalidate(lpn);
+                moveNext(chip, victim, page + 1, mode);
+            };
+            if (onReadFailed) {
+                // XOR-rebuild the page into the move staging slot and
+                // continue the migration with the recovered bytes.
+                onReadFailed(
+                    lpn, {chip, victim, page}, scratch,
+                    [this, chip, victim, page, lpn, scratch, mode,
+                     move_seq, giveUp](bool rebuilt) {
+                        if (!rebuilt) {
+                            giveUp();
+                            return;
+                        }
+                        if (chips_[chip].blocks[victim].pageLpn[page] !=
+                            lpn) {
+                            moveNext(chip, victim, page + 1, mode);
+                            return;
+                        }
+                        allocateAndWrite(
+                            lpn, scratch,
+                            [this, chip, victim, page, mode](bool) {
+                                moveNext(chip, victim, page + 1, mode);
+                            },
+                            0, obs::kNoSpan, mode, move_seq);
+                    });
+                return;
+            }
+            giveUp();
             return;
         }
         allocateAndWrite(lpn, scratch, [this, chip, victim, page,
@@ -1051,6 +1284,213 @@ PageFtl::moveNext(std::uint32_t chip, std::uint32_t victim,
         }, 0, obs::kNoSpan, mode, move_seq);
     };
     backend_.submit(std::move(req));
+}
+
+// ---------------------------------------------------------------------
+// Reliability services (patrol scrubber / RAIN manager attach here).
+// ---------------------------------------------------------------------
+
+std::optional<std::uint64_t>
+PageFtl::pageLpnAt(std::uint32_t chip, std::uint32_t block,
+                   std::uint32_t page) const
+{
+    const std::uint64_t lpn = chips_[chip].blocks[block].pageLpn[page];
+    if (lpn == kUnmapped)
+        return std::nullopt;
+    return lpn;
+}
+
+std::optional<Ppa>
+PageFtl::mappedPpa(std::uint64_t lpn) const
+{
+    if (lpn >= map_.size() || map_[lpn] == kUnmapped)
+        return std::nullopt;
+    return unpackPpa(map_[lpn]);
+}
+
+std::uint64_t
+PageFtl::reliabilityScratchAddr(std::uint32_t slot) const
+{
+    babol_assert(slot < cfg_.reliabilityScratchPages,
+                 "reliability scratch slot %u out of range (%u reserved)",
+                 slot, cfg_.reliabilityScratchPages);
+    return reliabilityScratchBase_ +
+           static_cast<std::uint64_t>(slot) * pageBytes_;
+}
+
+void
+PageFtl::readPhysical(std::uint32_t chip, std::uint32_t block,
+                      std::uint32_t page, std::uint64_t dram_addr,
+                      std::function<void(const core::OpResult &)> cb)
+{
+    FlashRequest req;
+    req.kind = FlashOpKind::Read;
+    req.chip = chip;
+    req.row = {0, block, page};
+    req.dramAddr = dram_addr;
+    req.onComplete = [cb = std::move(cb)](OpResult r) { cb(r); };
+    backend_.submit(std::move(req));
+}
+
+void
+PageFtl::refreshLpn(std::uint64_t lpn, Callback cb,
+                    std::int32_t preferred_chip)
+{
+    babol_assert(cfg_.reliabilityScratchPages >= 1,
+                 "refreshLpn needs a reliability scratch page");
+    refreshQueue_.push_back({lpn, std::move(cb), preferred_chip});
+    pumpRefresh();
+}
+
+void
+PageFtl::pumpRefresh()
+{
+    if (refreshBusy_ || refreshQueue_.empty())
+        return;
+    RefreshJob job = std::move(refreshQueue_.front());
+    refreshQueue_.pop_front();
+
+    if (map_[job.lpn] == kUnmapped) {
+        // Nothing mapped (lost or trimmed): vacuous success.
+        eq_.scheduleIn(0, [this, cb = std::move(job.cb)] {
+            cb(true);
+            pumpRefresh();
+        }, "ftl refresh unmapped");
+        return;
+    }
+    refreshBusy_ = true;
+    const Ppa at = unpackPpa(map_[job.lpn]);
+    const std::uint64_t scratch = reliabilityScratchAddr(0);
+    readPhysical(at.chip, at.block, at.page, scratch,
+                 [this, job = std::move(job), at,
+                  scratch](const OpResult &r) mutable {
+        auto rewrite = [this](RefreshJob j, const Ppa &expected,
+                              std::uint64_t src) {
+            if (map_[j.lpn] != packPpa(expected)) {
+                // A host overwrite landed while we were reading: the
+                // fresh copy already lives elsewhere.
+                refreshBusy_ = false;
+                j.cb(true);
+                pumpRefresh();
+                return;
+            }
+            ++refreshes_;
+            allocateAndWrite(j.lpn, src,
+                             [this, cb = std::move(j.cb)](bool ok) {
+                                 refreshBusy_ = false;
+                                 cb(ok);
+                                 pumpRefresh();
+                             },
+                             0, obs::kNoSpan, OobState::ScrubMove,
+                             mapSeq_[j.lpn], j.preferredChip);
+        };
+        if (r.ok) {
+            rewrite(std::move(job), at, scratch);
+            return;
+        }
+        ++readFailures_;
+        noteChipFault(at.chip);
+        if (onReadFailed) {
+            const std::uint64_t lpn = job.lpn;
+            onReadFailed(lpn, at, scratch,
+                         [this, job = std::move(job), at, scratch,
+                          rewrite](bool rebuilt) mutable {
+                             if (!rebuilt) {
+                                 ++dataLoss_;
+                                 refreshBusy_ = false;
+                                 job.cb(false);
+                                 pumpRefresh();
+                                 return;
+                             }
+                             rewrite(std::move(job), at, scratch);
+                         });
+            return;
+        }
+        ++dataLoss_;
+        refreshBusy_ = false;
+        job.cb(false);
+        pumpRefresh();
+    });
+}
+
+void
+PageFtl::rewritePage(std::uint64_t lpn, const Ppa &expected,
+                     std::uint64_t dram_addr, Callback cb,
+                     std::int32_t preferred_chip)
+{
+    if (map_[lpn] != packPpa(expected)) {
+        // Overwritten mid-rebuild: the younger copy wins, nothing to do.
+        eq_.scheduleIn(0, [cb = std::move(cb)] { cb(true); },
+                       "ftl rewrite stale");
+        return;
+    }
+    allocateAndWrite(lpn, dram_addr, std::move(cb), 0, obs::kNoSpan,
+                     OobState::ScrubMove, mapSeq_[lpn], preferred_chip);
+}
+
+void
+PageFtl::writeParity(std::uint64_t stripe_id, std::uint64_t dram_addr,
+                     std::uint32_t avoid_chip_mask,
+                     std::function<void(bool ok, Ppa at)> cb)
+{
+    PendingWrite pw;
+    pw.lpn = stripe_id;
+    pw.dramAddr = dram_addr;
+    pw.cb = [](bool) {};
+    pw.state = OobState::RainParity;
+    pw.moveSeq = seq_++;
+    pw.parityCb = std::move(cb);
+    enqueueWrite(std::move(pw), coldestChip(avoid_chip_mask));
+}
+
+std::int32_t
+PageFtl::coldestChip(std::uint32_t exclude_mask) const
+{
+    std::int32_t best = -1;
+    std::uint64_t bestWear = ~std::uint64_t(0);
+    for (std::uint32_t c = 0; c < chips_.size(); ++c) {
+        if (chipDead(c) || (c < 32 && ((exclude_mask >> c) & 1)))
+            continue;
+        std::uint64_t wear = 0;
+        for (const BlockInfo &bi : chips_[c].blocks)
+            wear += bi.eraseCount;
+        if (wear < bestWear) {
+            bestWear = wear;
+            best = static_cast<std::int32_t>(c);
+        }
+    }
+    return best;
+}
+
+void
+PageFtl::markChipDead(std::uint32_t chip)
+{
+    if (chip >= 64 || chipDead(chip))
+        return;
+    deadChipMask_ |= std::uint64_t(1) << chip;
+    warn("%s: chip %u declared dead; rerouting %zu queued writes",
+         name().c_str(), chip, chips_[chip].writeQueue.size());
+
+    ChipState &cs = chips_[chip];
+    cs.gcInProgress = false;
+    cs.wlInProgress = false;
+    cs.activeReserved = false;
+    std::deque<PendingWrite> orphans = std::move(cs.writeQueue);
+    cs.writeQueue.clear();
+    for (PendingWrite &w : orphans)
+        enqueueWrite(std::move(w), -1);
+    if (onChipDead)
+        onChipDead(chip);
+}
+
+void
+PageFtl::noteChipFault(std::uint32_t chip)
+{
+    if (chipDead(chip))
+        return;
+    const std::string nm = backend_.backendChipName(chip);
+    if (!nm.empty() && backend_.backendFaults().dieDead(nm))
+        markChipDead(chip);
 }
 
 } // namespace babol::ftl

@@ -33,6 +33,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/flash_backend.hh"
@@ -85,6 +86,15 @@ struct FtlConfig
      * 0 disables static WL (dynamic WL still applies).
      */
     std::uint32_t wearSpreadThreshold = 0;
+
+    /**
+     * DRAM staging pages reserved for the reliability subsystem
+     * (patrol-scrub reads, refresh moves, RAIN parity accumulation and
+     * rebuild). 0 = reliability services disabled (the historical
+     * layout). Slot 0 is the FTL's own refresh staging page; the
+     * src/reliability classes divide the rest.
+     */
+    std::uint32_t reliabilityScratchPages = 0;
 };
 
 /** A physical page address. */
@@ -135,6 +145,127 @@ class PageFtl : public SimObject
     /** The flash back end this FTL drives. */
     core::FlashBackend &backend() { return backend_; }
 
+    // --- Reliability services (patrol scrubber / RAIN manager) ---
+    //
+    // The media-decay subsystem in src/reliability attaches to the FTL
+    // through these services and the hook points below; the FTL itself
+    // stays free of any RAIN/scrub policy. All services require
+    // FtlConfig::reliabilityScratchPages > 0.
+
+    std::uint32_t chipCount() const
+    {
+        return static_cast<std::uint32_t>(chips_.size());
+    }
+    std::uint32_t blocksPerChip() const { return cfg_.blocksPerChip; }
+    std::uint32_t pagesPerBlock() const { return pagesPerBlock_; }
+
+    /** Host I/O in flight (reads, writes, pinned buffer flushes) — the
+     *  scrubber's idle test. */
+    bool hostBusy() const
+    {
+        return hostInflight_ != 0 || wbOutstanding_ != 0;
+    }
+
+    /** Host reads served from this block since its last erase (the
+     *  FTL-level read-disturb counter the scrubber trips on). */
+    std::uint64_t blockHostReads(std::uint32_t chip,
+                                 std::uint32_t block) const
+    {
+        return chips_[chip].blocks[block].hostReads;
+    }
+
+    /** The LPN mapped at a physical page, or nullopt when the page is
+     *  dead/unwritten (reverse-map lookup for the patrol cursor). */
+    std::optional<std::uint64_t> pageLpnAt(std::uint32_t chip,
+                                           std::uint32_t block,
+                                           std::uint32_t page) const;
+
+    /** Where an LPN currently lives, or nullopt when unmapped. */
+    std::optional<Ppa> mappedPpa(std::uint64_t lpn) const;
+
+    /** DRAM address of reliability staging slot @p slot. */
+    std::uint64_t reliabilityScratchAddr(std::uint32_t slot) const;
+
+    /** Raw physical-page read into DRAM, full OpResult delivered to the
+     *  caller (patrol reads want the ECC near-miss margin, rebuilds
+     *  want hard failure detail). */
+    void readPhysical(std::uint32_t chip, std::uint32_t block,
+                      std::uint32_t page, std::uint64_t dram_addr,
+                      std::function<void(const core::OpResult &)> cb);
+
+    /**
+     * Relocate one live LPN (read + rewrite, keeping its seq so a
+     * racing host overwrite still wins). Requests are serialized
+     * through the FTL's refresh staging page. @p preferred_chip steers
+     * the destination (-1 = round-robin) — the scrubber points it at
+     * the coldest chip, which is what spreads wear across chips.
+     */
+    void refreshLpn(std::uint64_t lpn, Callback cb,
+                    std::int32_t preferred_chip = -1);
+
+    /**
+     * Rewrite @p lpn from DRAM (RAIN rebuild output), but only when the
+     * map still points at @p expected — a host overwrite that landed
+     * mid-rebuild wins. Keeps the LPN's seq, like refreshLpn.
+     */
+    void rewritePage(std::uint64_t lpn, const Ppa &expected,
+                     std::uint64_t dram_addr, Callback cb,
+                     std::int32_t preferred_chip = -1);
+
+    /**
+     * Program one RAIN parity page. Parity never enters the L2P map:
+     * the page is carried with OobState::RainParity and lpn=stripe id,
+     * and mount-scan skips it. @p avoid_chip_mask excludes the stripe's
+     * member chips so one die loss never takes two stripe units.
+     */
+    void writeParity(std::uint64_t stripe_id, std::uint64_t dram_addr,
+                     std::uint32_t avoid_chip_mask,
+                     std::function<void(bool ok, Ppa at)> cb);
+
+    /** Chip with the least total wear among live chips not in
+     *  @p exclude_mask, or -1 when none qualify. */
+    std::int32_t coldestChip(std::uint32_t exclude_mask = 0) const;
+
+    /** True once @p chip has been declared dead (die failure). */
+    bool chipDead(std::uint32_t chip) const
+    {
+        return chip < 64 && (deadChipMask_ >> chip) & 1;
+    }
+
+    /**
+     * Take a chip out of service: allocation skips it, its queued
+     * writes re-route, GC/WL stop touching it. Called by the harness
+     * right after FaultEngine::failDie, and by the FTL itself when the
+     * engine reports a die-wide dead region under a failing op.
+     */
+    void markChipDead(std::uint32_t chip);
+
+    // --- Reliability hook points (set once, before traffic) ---
+
+    /** Every committed data program (map installed / move landed):
+     *  the RAIN manager folds the page into its open stripe here. */
+    std::function<void(const Ppa &at, std::uint64_t lpn,
+                       std::uint64_t dram_addr, OobState state)>
+        onProgramCommitted;
+
+    /** Async gate before any block erase. The RAIN manager refreshes
+     *  live members of stripes touching the block, then calls
+     *  @p proceed to let the erase go. Unset = erase immediately. */
+    std::function<void(std::uint32_t chip, std::uint32_t block,
+                       std::function<void()> proceed)>
+        beforeErase;
+
+    /** Last-resort read repair: a host/refresh read failed all retries.
+     *  The RAIN manager XOR-rebuilds into @p dram_addr and reports via
+     *  @p done. Unset (or done(false)) = the read is lost. */
+    std::function<void(std::uint64_t lpn, Ppa at, std::uint64_t dram_addr,
+                       Callback done)>
+        onReadFailed;
+
+    /** A chip was just declared dead — the RAIN manager starts its
+     *  background rebuild sweep here. */
+    std::function<void(std::uint32_t chip)> onChipDead;
+
     // --- Stats / introspection ---
     std::uint64_t hostReads() const { return hostReads_; }
     std::uint64_t hostWrites() const { return hostWrites_; }
@@ -148,6 +279,9 @@ class PageFtl : public SimObject
     std::uint64_t mountTornPages() const { return mountTornPages_; }
     std::uint64_t writeBufferHits() const { return wbHits_; }
     std::uint64_t writeBufferFlushes() const { return wbFlushes_; }
+    std::uint64_t readFailures() const { return readFailures_; }
+    std::uint64_t dataLoss() const { return dataLoss_; }
+    std::uint64_t refreshMoves() const { return refreshes_; }
 
     /** The current grown-defect table: every bad block, both recovered
      *  ones and those retired during this mount. */
@@ -168,6 +302,8 @@ class PageFtl : public SimObject
         std::uint32_t programmed = 0;       //!< programs actually landed
         std::uint32_t valid = 0;            //!< still-mapped pages
         std::uint32_t eraseCount = 0;
+        /** Host reads since the last erase (scrub disturb trigger). */
+        std::uint64_t hostReads = 0;
         bool erased = false;
         bool bad = false;
     };
@@ -191,6 +327,10 @@ class PageFtl : public SimObject
 
         /** FTL-write span; stays open across program retries. */
         obs::SpanId span = obs::kNoSpan;
+
+        /** RAIN parity writes only (state == RainParity): where the
+         *  parity landed. Parity bypasses the L2P map entirely. */
+        std::function<void(bool ok, Ppa at)> parityCb;
     };
 
     struct ChipState
@@ -211,6 +351,12 @@ class PageFtl : public SimObject
         /** Blocks retired but not yet journalled to flash: each entry
          *  rides in the OOB record of the chip's next program. */
         std::deque<std::uint32_t> defectJournal;
+
+        /** Blocks erased but not yet reprogrammed, with their post-
+         *  erase counts: journalled through the OOB of subsequent
+         *  programs (like defects) so a free block's erase count
+         *  survives a remount — the ROADMAP-flagged eraseCount-0 gap. */
+        std::deque<std::pair<std::uint32_t, std::uint32_t>> eraseJournal;
     };
 
     /** One write-buffer slot (a page-sized DRAM staging region). */
@@ -228,7 +374,9 @@ class PageFtl : public SimObject
                           Callback cb, std::uint32_t retries = 0,
                           obs::SpanId span = obs::kNoSpan,
                           OobState state = OobState::HostWrite,
-                          std::uint64_t move_seq = 0);
+                          std::uint64_t move_seq = 0,
+                          std::int32_t preferred_chip = -1);
+    void enqueueWrite(PendingWrite pw, std::int32_t preferred_chip);
     void pumpWrites(std::uint32_t chip);
     bool ensureActiveBlock(std::uint32_t chip, bool for_move = false);
     bool gcReclaimable(std::uint32_t chip) const;
@@ -250,6 +398,17 @@ class PageFtl : public SimObject
     // Mount plumbing.
     void mountScanNext(std::uint32_t chip);
     void finishMount();
+
+    // Reliability plumbing.
+    struct RefreshJob
+    {
+        std::uint64_t lpn;
+        Callback cb;
+        std::int32_t preferredChip;
+    };
+    void pumpRefresh();
+    void noteChipFault(std::uint32_t chip);
+    void pushEraseJournal(std::uint32_t chip, std::uint32_t block);
 
     core::FlashBackend &backend_;
     FtlConfig cfg_;
@@ -279,6 +438,16 @@ class PageFtl : public SimObject
 
     std::unique_ptr<MountScan> mountScan_;
 
+    // Reliability state.
+    std::uint64_t deadChipMask_ = 0;
+    std::uint32_t hostInflight_ = 0;
+    std::uint64_t reliabilityScratchBase_ = 0;
+    std::deque<RefreshJob> refreshQueue_;
+    bool refreshBusy_ = false;
+    std::uint64_t readFailures_ = 0;
+    std::uint64_t dataLoss_ = 0;
+    std::uint64_t refreshes_ = 0;
+
     std::uint64_t hostReads_ = 0;
     std::uint64_t hostWrites_ = 0;
     std::uint64_t gcRuns_ = 0;
@@ -292,8 +461,8 @@ class PageFtl : public SimObject
     std::uint64_t wbHits_ = 0;
     std::uint64_t wbFlushes_ = 0;
 
-    std::uint64_t packPpa(const Ppa &p) const;
-    Ppa unpackPpa(std::uint64_t packed) const;
+    static std::uint64_t packPpa(const Ppa &p);
+    static Ppa unpackPpa(std::uint64_t packed);
 
     std::uint32_t obsTrack_ = 0;
     std::uint32_t lblRead_ = 0;

@@ -52,7 +52,36 @@ get64(const std::uint8_t *p)
     return v;
 }
 
-constexpr std::uint8_t kMagic = 0xB5;
+void
+put16(std::uint8_t *p, std::uint16_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void
+put48(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 6; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint16_t
+get16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint64_t
+get48(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 5; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+constexpr std::uint8_t kMagic = 0xB6; // layout v2 (erase journal)
 
 } // namespace
 
@@ -63,14 +92,19 @@ encodeOob(const OobRecord &rec, std::uint32_t oobBytes)
                  "OOB tail too small for %u record copies", kOobCopies);
     std::vector<std::uint8_t> out(oobBytes, 0xFF);
 
+    babol_assert(rec.seq < (1ull << 48), "OOB seq field overflow");
     std::uint8_t copy[kOobRecordBytes];
     std::fill(std::begin(copy), std::end(copy), 0xFF);
     copy[0] = kMagic;
     copy[1] = static_cast<std::uint8_t>(rec.state);
     put64(&copy[2], rec.lpn);
-    put64(&copy[10], rec.seq);
-    put32(&copy[18], rec.eraseCount);
-    put32(&copy[22], rec.defectEntry);
+    put48(&copy[10], rec.seq);
+    put32(&copy[16], rec.eraseCount);
+    put32(&copy[20], rec.defectEntry);
+    put16(&copy[24], static_cast<std::uint16_t>(
+                         std::min(rec.eraseEntry, OobRecord::kNoErase)));
+    put16(&copy[26], static_cast<std::uint16_t>(
+                         std::min(rec.eraseEntryCount, 0xFFFFu)));
     put32(&copy[28], oobCrc32({copy, 28}));
 
     for (std::uint32_t c = 0; c < kOobCopies; ++c)
@@ -93,9 +127,11 @@ decodeOob(std::span<const std::uint8_t> bytes)
         OobRecord rec;
         rec.state = static_cast<OobState>(p[1]);
         rec.lpn = get64(&p[2]);
-        rec.seq = get64(&p[10]);
-        rec.eraseCount = get32(&p[18]);
-        rec.defectEntry = get32(&p[22]);
+        rec.seq = get48(&p[10]);
+        rec.eraseCount = get32(&p[16]);
+        rec.defectEntry = get32(&p[20]);
+        rec.eraseEntry = get16(&p[24]);
+        rec.eraseEntryCount = get16(&p[26]);
         return rec;
     }
     return std::nullopt;

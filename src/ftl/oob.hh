@@ -17,18 +17,24 @@
  * invalid. Redundant-copy-with-checksum is the same idiom ONFI uses for
  * the parameter page.
  *
- * Record layout (little-endian, 32 bytes per copy):
+ * Record layout v2 (little-endian, 32 bytes per copy):
  *
  *   off  size  field
- *   0    1     magic (0xB5)
- *   1    1     state: 1 = host write, 2 = GC move, 3 = wear-level move
- *   2    8     lpn
- *   10   8     seq (global program sequence number; highest wins)
- *   18   4     eraseCount of the containing block at program time
- *   22   4     defect journal entry: chip-local id of a block retired as
+ *   0    1     magic (0xB6)
+ *   1    1     state: 1 = host write, 2 = GC move, 3 = wear-level move,
+ *              4 = RAIN parity page, 5 = scrub refresh move
+ *   2    8     lpn (RAIN parity pages: the stripe id)
+ *   10   6     seq (global program sequence number; highest wins)
+ *   16   4     eraseCount of the containing block at program time
+ *   20   4     defect journal entry: chip-local id of a block retired as
  *              a grown defect, or 0xFFFFFFFF for none. Piggybacked on
  *              the next program of the same chip after a retirement.
- *   26   2     0xFF pad
+ *   24   2     erase journal entry: chip-local id of a block erased but
+ *              not yet reprogrammed, or 0xFFFF for none. Without it a
+ *              free block's erase count would vanish on remount (its
+ *              own OOB went with the erase) — the ROADMAP-flagged
+ *              eraseCount-0 bug.
+ *   26   2     erase count of the journalled block (saturating)
  *   28   4     CRC-32 (poly 0xEDB88320) over bytes 0..27
  */
 
@@ -47,19 +53,26 @@ enum class OobState : std::uint8_t {
     HostWrite = 1,
     GcMove = 2,
     WlMove = 3,
+    RainParity = 4, //!< XOR parity page; never enters the L2P map
+    ScrubMove = 5,  //!< patrol-scrub refresh relocation
 };
 
 /** One page's OOB metadata, in decoded form. */
 struct OobRecord
 {
     std::uint64_t lpn = 0;
-    std::uint64_t seq = 0;
+    std::uint64_t seq = 0; //!< stored in 48 bits; must fit
     std::uint32_t eraseCount = 0;
     /** Chip-local block id retired as a grown defect, or kNoDefect. */
     std::uint32_t defectEntry = kNoDefect;
+    /** Erase journal: chip-local id of a block erased but not yet
+     *  reprogrammed, or kNoErase, plus its post-erase erase count. */
+    std::uint32_t eraseEntry = kNoErase;
+    std::uint32_t eraseEntryCount = 0;
     OobState state = OobState::HostWrite;
 
     static constexpr std::uint32_t kNoDefect = 0xFFFFFFFFu;
+    static constexpr std::uint32_t kNoErase = 0xFFFFu;
 };
 
 /** Bytes per record copy and copies per page tail. */

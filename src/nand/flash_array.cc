@@ -40,6 +40,7 @@ FlashArray::eraseBlock(std::uint32_t block, bool slcMode)
 
     ++bs.peCycles;
     bs.nextPage = 0;
+    bs.reads = 0;
     bs.slc = slcMode;
     for (std::uint32_t p = 0; p < geo_.pagesPerBlock; ++p)
         pages_.erase(pageKey(block, p));
@@ -60,7 +61,7 @@ FlashArray::eraseBlock(std::uint32_t block, bool slcMode)
 
 ArrayStatus
 FlashArray::programPage(std::uint32_t block, std::uint32_t page,
-                        std::span<const std::uint8_t> data)
+                        std::span<const std::uint8_t> data, Tick now)
 {
     checkPage(block, page);
     babol_assert(data.size() <= geo_.pageTotalBytes(),
@@ -76,9 +77,12 @@ FlashArray::programPage(std::uint32_t block, std::uint32_t page,
     if (pages_.count(pageKey(block, page)))
         return ArrayStatus::ProtocolError;
 
-    std::vector<std::uint8_t> stored(geo_.pageTotalBytes(), 0xFF);
-    std::copy(data.begin(), data.end(), stored.begin());
-    pages_[pageKey(block, page)] = std::move(stored);
+    StoredPage sp;
+    sp.bytes.assign(geo_.pageTotalBytes(), 0xFF);
+    std::copy(data.begin(), data.end(), sp.bytes.begin());
+    sp.programTick = now;
+    sp.readsBaseline = bs.reads;
+    pages_[pageKey(block, page)] = std::move(sp);
     bs.nextPage = page + 1;
     return ArrayStatus::Ok;
 }
@@ -111,9 +115,57 @@ FlashArray::optimalRetryLevel(std::uint32_t block) const
                                       rel_.levelDriftPe);
 }
 
+double
+FlashArray::pageRber(std::uint32_t block, std::uint32_t page,
+                     std::uint32_t retryLevel, bool slcRead,
+                     Tick now) const
+{
+    double rber = effectiveRber(block, retryLevel, slcRead);
+    auto it = pages_.find(pageKey(block, page));
+    if (it == pages_.end())
+        return rber;
+    const StoredPage &sp = it->second;
+
+    // Retention: charge leakage since program, linear in age past the
+    // knee so doubling the age roughly doubles the extra error mass.
+    if (now > sp.programTick) {
+        double age_ms = ticks::toUs(now - sp.programTick) / 1000.0;
+        rber *= 1.0 + age_ms / rel_.retentionKneeMs;
+    }
+
+    // Read disturb: every sibling read since this page was programmed
+    // nudges its cells; a refresh (rewrite elsewhere) resets the count.
+    double disturb = static_cast<double>(blocks_[block].reads -
+                                         sp.readsBaseline);
+    rber *= 1.0 + disturb / rel_.readDisturbKneeReads;
+
+    return std::min(rber, 0.5);
+}
+
+std::uint64_t
+FlashArray::readDisturb(std::uint32_t block, std::uint32_t page) const
+{
+    checkPage(block, page);
+    auto it = pages_.find(pageKey(block, page));
+    if (it == pages_.end())
+        return 0;
+    return blocks_[block].reads - it->second.readsBaseline;
+}
+
+Tick
+FlashArray::retentionAge(std::uint32_t block, std::uint32_t page,
+                         Tick now) const
+{
+    checkPage(block, page);
+    auto it = pages_.find(pageKey(block, page));
+    if (it == pages_.end() || now < it->second.programTick)
+        return 0;
+    return now - it->second.programTick;
+}
+
 PageLoad
 FlashArray::readPage(std::uint32_t block, std::uint32_t page,
-                     std::uint32_t retryLevel, bool slcRead)
+                     std::uint32_t retryLevel, bool slcRead, Tick now)
 {
     checkPage(block, page);
 
@@ -124,13 +176,18 @@ FlashArray::readPage(std::uint32_t block, std::uint32_t page,
         // meaningful error content.
         load.data.assign(geo_.pageTotalBytes(), 0xFF);
         load.programmed = false;
+        ++blocks_[block].reads;
         return load;
     }
 
-    load.data = it->second;
+    load.data = it->second.bytes;
     load.programmed = true;
 
-    double rber = effectiveRber(block, retryLevel, slcRead);
+    // Sample the decay terms before counting this read: the disturb a
+    // read suffers comes from the reads before it, which keeps the
+    // draw a pure function of prior state (determinism).
+    double rber = pageRber(block, page, retryLevel, slcRead, now);
+    ++blocks_[block].reads;
     std::uint64_t total_bits =
         static_cast<std::uint64_t>(load.data.size()) * 8;
     std::uint64_t flips = rng_.binomial(total_bits, rber);
@@ -185,8 +242,9 @@ FlashArray::tearPage(std::uint32_t block, std::uint32_t page)
     // the array's shared RNG stream (whose phase depends on prior ops).
     std::uint64_t x = (static_cast<std::uint64_t>(block) << 32 | page) ^
                       (static_cast<std::uint64_t>(bs.peCycles) * 0x9E3779B97F4A7C15ull);
-    std::vector<std::uint8_t> stored(geo_.pageTotalBytes());
-    for (auto &b : stored) {
+    StoredPage sp;
+    sp.bytes.resize(geo_.pageTotalBytes());
+    for (auto &b : sp.bytes) {
         // splitmix64 step, one byte per draw.
         x += 0x9E3779B97F4A7C15ull;
         std::uint64_t z = x;
@@ -194,7 +252,8 @@ FlashArray::tearPage(std::uint32_t block, std::uint32_t page)
         z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
         b = static_cast<std::uint8_t>(z ^ (z >> 31));
     }
-    pages_[pageKey(block, page)] = std::move(stored);
+    sp.readsBaseline = bs.reads;
+    pages_[pageKey(block, page)] = std::move(sp);
     bs.nextPage = page + 1;
 }
 

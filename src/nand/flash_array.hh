@@ -23,6 +23,7 @@
 
 #include "geometry.hh"
 #include "sim/random.hh"
+#include "sim/types.hh"
 
 namespace babol::nand {
 
@@ -61,6 +62,13 @@ struct ReliabilityParams
     std::uint32_t endurancePe = 3000;
     /** Endurance multiplier in SLC mode. */
     double slcEnduranceFactor = 10.0;
+    /** Retention: simulated milliseconds since program after which the
+     *  RBER has roughly doubled. Charge leaks on a wall-clock scale in
+     *  real NAND; campaigns compress it onto the tick clock. */
+    double retentionKneeMs = 5000.0;
+    /** Read disturb: sibling reads of a block after which a page's RBER
+     *  has roughly doubled (resets on erase / refresh). */
+    double readDisturbKneeReads = 50000.0;
 };
 
 class FlashArray
@@ -84,16 +92,21 @@ class FlashArray
      * a page can be programmed only once per erase (NOP=1).
      */
     ArrayStatus programPage(std::uint32_t block, std::uint32_t page,
-                            std::span<const std::uint8_t> data);
+                            std::span<const std::uint8_t> data,
+                            Tick now = 0);
 
     /**
      * Load a page into a register copy, injecting bit errors.
      *
      * @param retryLevel read-retry voltage level in use
      * @param slcRead    pSLC read (valid on SLC-mode blocks)
+     * @param now        current tick, for the retention-age term of the
+     *                   RBER model; also bumps the block's read-disturb
+     *                   counter
      */
     PageLoad readPage(std::uint32_t block, std::uint32_t page,
-                      std::uint32_t retryLevel, bool slcRead);
+                      std::uint32_t retryLevel, bool slcRead,
+                      Tick now = 0);
 
     /** P/E cycles a block has seen. */
     std::uint32_t peCycles(std::uint32_t block) const;
@@ -110,9 +123,25 @@ class FlashArray
      */
     std::uint32_t optimalRetryLevel(std::uint32_t block) const;
 
-    /** Effective RBER for a block at a retry level (model introspection). */
+    /** Effective RBER for a block at a retry level (model introspection).
+     *  Wear and retry-level terms only — see pageRber() for the
+     *  per-page retention and disturb terms layered on top. */
     double effectiveRber(std::uint32_t block, std::uint32_t retryLevel,
                          bool slcRead) const;
+
+    /** Full per-page RBER including retention age and read disturb. */
+    double pageRber(std::uint32_t block, std::uint32_t page,
+                    std::uint32_t retryLevel, bool slcRead,
+                    Tick now) const;
+
+    /** Sibling reads the block has absorbed since this page was
+     *  programmed (0 for unprogrammed pages). */
+    std::uint64_t readDisturb(std::uint32_t block,
+                              std::uint32_t page) const;
+
+    /** Ticks since the page was programmed (0 for unprogrammed). */
+    Tick retentionAge(std::uint32_t block, std::uint32_t page,
+                      Tick now) const;
 
     /** Artificially age a block (tests/benches). */
     void agePeCycles(std::uint32_t block, std::uint32_t cycles);
@@ -146,8 +175,18 @@ class FlashArray
     {
         std::uint32_t peCycles = 0;
         std::uint32_t nextPage = 0; //!< next programmable page index
+        std::uint64_t reads = 0;    //!< page reads since last erase
         bool slc = false;
         bool bad = false;
+    };
+
+    /** A programmed page: cell image plus the media-decay baselines the
+     *  RBER model measures against. */
+    struct StoredPage
+    {
+        std::vector<std::uint8_t> bytes;
+        Tick programTick = 0;
+        std::uint64_t readsBaseline = 0; //!< block reads at program time
     };
 
     std::uint64_t pageKey(std::uint32_t block, std::uint32_t page) const;
@@ -158,7 +197,7 @@ class FlashArray
     ReliabilityParams rel_;
     Rng rng_;
     std::vector<BlockState> blocks_;
-    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pages_;
+    std::unordered_map<std::uint64_t, StoredPage> pages_;
 };
 
 } // namespace babol::nand

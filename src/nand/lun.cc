@@ -902,20 +902,32 @@ Lun::injectReadFaults(PageLoad &load, std::uint32_t block,
         return;
     std::uint32_t extra =
         eng.onRead(name(), block, page, retryLevel_, curTick());
-    if (extra == 0)
-        return;
-    // Concentrate the burst inside the first codeword's data bytes so a
-    // capture starting at column 0 is guaranteed to hit it.
-    std::uint64_t span_bits =
-        std::min<std::uint64_t>(load.data.size(), 1024) * 8;
-    std::set<std::uint32_t> picked;
-    while (picked.size() < extra && picked.size() < span_bits) {
-        picked.insert(static_cast<std::uint32_t>(
-            eng.rng().uniform(0, span_bits - 1)));
+    if (extra != 0) {
+        // Concentrate the burst inside the first codeword's data bytes
+        // so a capture starting at column 0 is guaranteed to hit it.
+        std::uint64_t span_bits =
+            std::min<std::uint64_t>(load.data.size(), 1024) * 8;
+        std::set<std::uint32_t> picked;
+        while (picked.size() < extra && picked.size() < span_bits) {
+            picked.insert(static_cast<std::uint32_t>(
+                eng.rng().uniform(0, span_bits - 1)));
+        }
+        for (std::uint32_t bit : picked) {
+            load.data[bit / 8] ^=
+                static_cast<std::uint8_t>(1u << (bit % 8));
+            load.flippedBits.push_back(bit);
+        }
     }
-    for (std::uint32_t bit : picked) {
-        load.data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
-        load.flippedBits.push_back(bit);
+    if (eng.deadAt(name(), block)) {
+        // Dead die/block: the sense amps return junk. One flip every 16
+        // bytes drives every ECC codeword far past its capability and
+        // breaks every OOB record copy's CRC — no retry level recovers
+        // this, only RAIN rebuild does. Deterministic by construction.
+        for (std::uint32_t byte = 0; byte < load.data.size();
+             byte += 16) {
+            load.data[byte] ^= 0x01;
+            load.flippedBits.push_back(byte * 8);
+        }
     }
 }
 
@@ -925,7 +937,7 @@ Lun::loadPageIntoPlane(const RowAddress &row)
     Plane &pl = planes_[row.plane(cfg_.geometry)];
     bool slc_read = array_.isSlcBlock(row.block);
     PageLoad load = array_.readPage(row.block, row.page, retryLevel_,
-                                    slc_read);
+                                    slc_read, curTick());
     injectReadFaults(load, row.block, row.page);
     pl.dataReg = load.data;
     pl.dataFlips = std::move(load.flippedBits);
@@ -1020,7 +1032,8 @@ Lun::startCacheTurn(std::optional<RowAddress> next)
                 Plane &target = planes_[row.plane(cfg_.geometry)];
                 bool slc_read = array_.isSlcBlock(row.block);
                 PageLoad load = array_.readPage(row.block, row.page,
-                                                retryLevel_, slc_read);
+                                                retryLevel_, slc_read,
+                                                curTick());
                 injectReadFaults(load, row.block, row.page);
                 target.dataReg = load.data;
                 target.dataFlips = std::move(load.flippedBits);
@@ -1085,7 +1098,8 @@ Lun::startProgram(bool cache_mode)
                     continue;
                 }
                 ArrayStatus st = array_.programPage(row.block, row.page,
-                                                    pl.cacheReg);
+                                                    pl.cacheReg,
+                                                    curTick());
                 if (st != ArrayStatus::Ok) {
                     failBit_ = true;
                     if (st == ArrayStatus::ProtocolError) {
@@ -1127,8 +1141,8 @@ Lun::startProgram(bool cache_mode)
                                           curTick())) {
                 failCBit_ = true;
             } else {
-                ArrayStatus st =
-                    array_.programPage(row.block, row.page, data);
+                ArrayStatus st = array_.programPage(row.block, row.page,
+                                                    data, curTick());
                 if (st != ArrayStatus::Ok)
                     failCBit_ = true;
             }

@@ -31,6 +31,8 @@ toString(Check c)
         return "power";
       case Check::Recovery:
         return "recovery";
+      case Check::Reliability:
+        return "reliability";
     }
     return "?";
 }

@@ -29,6 +29,8 @@ enum class Check : std::uint8_t {
     Power,        //!< energy conservation and throttle compliance
     Recovery,     //!< crash-consistency: acknowledged writes survive a
                   //!< remount, stale mappings never resurrect
+    Reliability,  //!< media decay: no read acked straight from a dead
+                  //!< die, rebuilds only from surviving stripe members
 };
 
 const char *toString(Check c);

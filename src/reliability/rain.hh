@@ -1,0 +1,277 @@
+/**
+ * @file
+ * RAIN — redundant array of independent NAND.
+ *
+ * ECC corrects bit errors inside one page; it is helpless when a whole
+ * die goes dark. RAIN adds the next layer: user pages are grouped into
+ * cross-chip stripes and each sealed stripe carries one XOR parity
+ * page, placed on a chip none of the stripe's members occupy. Any
+ * single lost unit — a page that decayed past the ECC limit, a failed
+ * block, an entire dead die — is recomputed as the XOR of the stripe's
+ * surviving units.
+ *
+ * Every stripe obeys one conservation law:
+ *
+ *     XOR(member pages) ^ xorAcc ^ parityPage ^ delta == 0
+ *
+ * where each DRAM term is absent (all-zero) when unused. `xorAcc` is
+ * the running accumulator of the open stripe (and the only protection
+ * a sealed stripe has until its parity page commits); `delta` is the
+ * folded contribution of units that left the stripe. Rebuilding any
+ * unit is then just "XOR everything else in the equation".
+ *
+ * The manager attaches to a PageFtl through its reliability hooks:
+ *
+ *  - onProgramCommitted → noteProgram: every committed data page joins
+ *    the open stripe; the page's bytes (still in DRAM at commit time)
+ *    fold into xorAcc. A stripe seals when it reaches stripeDataPages
+ *    members or when a program lands on a chip the stripe already
+ *    covers (one die may never hold two units of one stripe). Sealing
+ *    writes the accumulator as the parity page via PageFtl::writeParity,
+ *    steered away from the member chips.
+ *
+ *  - beforeErase → releaseBlock: erasing a block destroys the physical
+ *    pages backing stripe units (stale members and parity still
+ *    participate in the XOR equation), so each doomed unit is *patched
+ *    out* first: its bytes are read once and folded into the stripe's
+ *    delta, and the member is dropped — the stripe survives with a
+ *    hole and the equation still balances. Two traps shape this
+ *    design. Gating the erase on refresh *writes* can deadlock (a
+ *    write may queue behind the very erase it gates), so the release
+ *    waits on reads only. And rewriting or re-striping orphans
+ *    amplifies — each erase triggers more writes than it frees and
+ *    the churn feeds itself until the device eats its own free space —
+ *    so the release moves no data and writes nothing. A doomed
+ *    *parity* page folds back into DRAM the same way and the stripe
+ *    stays memory-protected from then on — rewriting parity on every
+ *    block turnover would re-buy each parity page once per erase
+ *    cycle, a divergent feedback loop; one parity write per stripe,
+ *    ever, keeps RAIN's write amplification bounded.
+ *
+ *  - onReadFailed → rebuildRead: last-resort repair for a read that
+ *    exhausted retries — XOR-rebuilt from the stripe equation, then
+ *    queued for background remap off the bad page.
+ *
+ *  - onChipDead → startSweep: queues every LPN stranded on the dead
+ *    die for paced rebuild + remap, and a heal pass that patches every
+ *    dead-die unit (stale members, parity pages) out of its stripe so
+ *    single-fault protection is restored for the survivors
+ *    (rebuild_done / rebuild_total / rebuild_eta_us track progress).
+ *
+ * The stripe map itself is volatile (DRAM-only, like real controllers'
+ * RAIN metadata): a power cycle drops stripe protection for data
+ * written before the cycle; pages written after remount stripe anew.
+ */
+
+#ifndef BABOL_RELIABILITY_RAIN_HH
+#define BABOL_RELIABILITY_RAIN_HH
+
+#include <unordered_map>
+
+#include "ftl/ftl.hh"
+
+namespace babol::reliability {
+
+struct RainConfig
+{
+    /** Data pages per stripe (excluding parity). 0 = auto: one page
+     *  per live chip, minus one chip kept clear for the parity. */
+    std::uint32_t stripeDataPages = 0;
+
+    /** Pace between background rebuild steps (µs of simulated time) —
+     *  rebuild is a background citizen, not a latency spike. */
+    std::uint64_t rebuildPaceUs = 20;
+
+    /** First FTL reliability scratch slot; the manager uses three
+     *  consecutive slots (parity staging, serialized repair reads,
+     *  remap write-out). */
+    std::uint32_t scratchSlot = 2;
+};
+
+class RainManager : public SimObject
+{
+  public:
+    RainManager(EventQueue &eq, const std::string &name,
+                ftl::PageFtl &ftl, RainConfig cfg = {});
+
+    const RainConfig &config() const { return cfg_; }
+
+    // --- Stats ---
+    std::uint64_t stripesSealed() const { return stripesSealed_; }
+    std::uint64_t parityWrites() const { return parityWrites_; }
+    std::uint64_t rebuildsOk() const { return rebuildsOk_; }
+    std::uint64_t rebuildsFailed() const { return rebuildsFailed_; }
+    /** Stripes fully dissolved (emptied out, or dropped past repair). */
+    std::uint64_t stripesReleased() const { return stripesReleased_; }
+    /** Units patched out of a surviving stripe (erase or heal). */
+    std::uint64_t holesPatched() const { return holesPatched_; }
+    std::uint64_t rebuildTotal() const { return rebuildTotal_; }
+    std::uint64_t rebuildDone() const { return rebuildDone_; }
+
+    /** Rough time to finish the current rebuild sweep (µs). */
+    std::uint64_t rebuildEtaUs() const
+    {
+        return (rebuildTotal_ - rebuildDone_) * cfg_.rebuildPaceUs;
+    }
+
+  private:
+    /** One stripe unit: a physical page and the LPN it carried when it
+     *  joined (the LPN may since have moved on — the physical bytes
+     *  still back the XOR equation either way). */
+    struct Unit
+    {
+        ftl::Ppa at;
+        std::uint64_t lpn;
+    };
+
+    struct Stripe
+    {
+        std::uint64_t id = 0;
+        std::vector<Unit> members;
+        std::uint32_t chipMask = 0;
+        bool sealed = false;
+        bool hasParity = false;
+        ftl::Ppa parity;
+        /** Open-stripe accumulator: XOR of member pages. Kept after
+         *  sealing until the parity page commits (it is the stripe's
+         *  only protection until then), then freed. */
+        std::vector<std::uint8_t> xorAcc;
+        /** Folded contribution of units patched out of the stripe
+         *  after sealing. DRAM-resident, like the stripe map. */
+        std::vector<std::uint8_t> delta;
+    };
+
+    static std::uint64_t key(const ftl::Ppa &p)
+    {
+        return (std::uint64_t(p.chip) << 40) |
+               (std::uint64_t(p.block) << 20) | p.page;
+    }
+
+    /** dst ^= src, growing dst from empty to page size on first use. */
+    void foldInto(std::vector<std::uint8_t> &dst,
+                  const std::vector<std::uint8_t> &src) const;
+
+    std::uint32_t liveChips() const;
+    std::uint32_t dataPagesTarget() const;
+    Stripe &openStripe();
+    void dropStripe(std::uint64_t id);
+
+    /** Fold one committed page into the open stripe, sealing around
+     *  chip collisions. */
+    void addUnit(const ftl::Ppa &at, std::uint64_t lpn,
+                 const std::vector<std::uint8_t> &data);
+
+    /** Remove a member whose bytes are known, folding them into the
+     *  stripe's DRAM term so the XOR equation keeps balancing. Drops
+     *  the stripe when its last member leaves. */
+    void patchOut(std::uint64_t stripe_id, const ftl::Ppa &at,
+                  const std::vector<std::uint8_t> &data);
+
+    /** The stripe's parity page is about to vanish (erase / dead die):
+     *  fold its content back into DRAM and queue a rewrite. */
+    void parityLost(std::uint64_t stripe_id,
+                    const std::vector<std::uint8_t> &content);
+
+    // Hook handlers.
+    void noteProgram(const ftl::Ppa &at, std::uint64_t lpn,
+                     std::uint64_t dram_addr, ftl::OobState state);
+    void releaseBlock(std::uint32_t chip, std::uint32_t block,
+                      std::function<void()> proceed);
+    void rebuildRead(std::uint64_t lpn, ftl::Ppa at,
+                     std::uint64_t dram_addr, ftl::PageFtl::Callback done);
+    void startSweep(std::uint32_t chip);
+
+    // Parity pipeline (serialized through one staging slot).
+    void seal(Stripe &s);
+    void pumpParity();
+
+    /**
+     * All stripe-equation work — release reads, host-path rebuilds,
+     * background repairs — funnels through ONE serialized work queue.
+     * Concurrent jobs could otherwise race: a release patching a
+     * stripe while a rebuild walks a stale copy of its member list, or
+     * two rebuilds interleaving reads through one scratch page. Jobs
+     * call `next` when the queue may move on; a job must never hold
+     * the queue across a *write* (the write may need the very erase a
+     * queued release job gates).
+     */
+    void pumpWork();
+
+    struct HostRebuild
+    {
+        std::uint64_t lpn;
+        ftl::Ppa at;
+        std::uint64_t dramAddr;
+        ftl::PageFtl::Callback done;
+    };
+
+    // Background repair of a dead die: remap stranded LPNs, patch
+    // dead units out of surviving stripes. A paced feeder moves one
+    // job at a time into the work queue.
+    struct RepairJob
+    {
+        bool heal = false;        //!< true: patch a dead unit out
+        std::uint64_t lpn = 0;    //!< remap jobs: the stranded LPN
+        std::uint64_t stripe = 0; //!< heal jobs: owning stripe
+        ftl::Ppa at;              //!< heal jobs: the dead unit
+    };
+    void pumpRepair();
+
+    // Work-queue job bodies.
+    void doRelease(std::uint32_t chip, std::uint32_t block,
+                   std::function<void()> proceed,
+                   std::function<void()> next);
+    void doHostRebuild(HostRebuild hr, std::function<void()> next);
+    void doRepair(RepairJob job, std::function<void()> next);
+
+    /**
+     * Recompute the unit at @p target (member or parity page) from the
+     * rest of the stripe equation. Sources are read one at a time
+     * through scratch slot @p slot; @p done receives the recovered
+     * bytes.
+     */
+    void rebuildUnit(std::uint64_t stripe_id, const ftl::Ppa &target,
+                     std::uint32_t slot,
+                     std::function<void(bool, std::vector<std::uint8_t>)>
+                         done);
+
+    ftl::PageFtl &ftl_;
+    RainConfig cfg_;
+    std::uint32_t pageBytes_;
+
+    std::unordered_map<std::uint64_t, Stripe> stripes_;
+    /** Physical unit (member or parity) → owning stripe. */
+    std::unordered_map<std::uint64_t, std::uint64_t> unitAt_;
+    std::uint64_t nextStripeId_ = 1;
+    std::uint64_t openId_ = 0; //!< 0 = no open stripe
+
+    std::deque<std::uint64_t> parityPending_;
+    bool parityBusy_ = false;
+
+    std::deque<std::function<void(std::function<void()>)>> work_;
+    bool workBusy_ = false;
+
+    std::deque<RepairJob> rebuildQueue_;
+    bool repairBusy_ = false;
+
+    std::uint64_t stripesSealed_ = 0;
+    std::uint64_t parityWrites_ = 0;
+    std::uint64_t rebuildsOk_ = 0;
+    std::uint64_t rebuildsFailed_ = 0;
+    std::uint64_t stripesReleased_ = 0;
+    std::uint64_t holesPatched_ = 0;
+    std::uint64_t rebuildTotal_ = 0;
+    std::uint64_t rebuildDone_ = 0;
+
+    std::uint32_t obsTrack_ = 0;
+    std::uint32_t lblSeal_ = 0;
+    std::uint32_t lblRelease_ = 0;
+    std::uint32_t lblRebuild_ = 0;
+
+    /** Last member: deregisters before the stats it references die. */
+    obs::MetricsGroup metrics_;
+};
+
+} // namespace babol::reliability
+
+#endif // BABOL_RELIABILITY_RAIN_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The background patrol scrubber.
+ *
+ * NAND decays while it sits: raw bit errors grow with retention time
+ * and with read disturb (nand/flash_array.hh models both). Left alone,
+ * a cold page drifts toward the ECC correction limit and the first
+ * reader finds out the hard way. Real controllers run a patrol scrub —
+ * a low-priority sweep that reads every live page, watches the
+ * corrected-error margin, and refreshes (rewrites elsewhere) anything
+ * close to the edge before it becomes uncorrectable.
+ *
+ * This scrubber attaches to a PageFtl through its reliability services:
+ *
+ *  - idle-aware pacing: one patrol read per interval, yielding while
+ *    host I/O is in flight — but never more than maxYields times in a
+ *    row, so a saturating host workload cannot starve the patrol
+ *    (the anti-starvation forced slot);
+ *  - refresh triggers: an uncorrectable patrol read, an ECC near miss
+ *    (margin <= refreshMarginBits, from OpResult::maxCodewordBits), or
+ *    a block whose FTL-level host-read count trips the read-disturb
+ *    threshold;
+ *  - cross-chip wear balancing: refresh destinations steer to the
+ *    coldest live chip (PageFtl::coldestChip), so scrub traffic evens
+ *    wear across chips instead of reinforcing the hot ones.
+ */
+
+#ifndef BABOL_RELIABILITY_SCRUB_HH
+#define BABOL_RELIABILITY_SCRUB_HH
+
+#include "core/ecc.hh"
+#include "ftl/ftl.hh"
+
+namespace babol::reliability {
+
+struct ScrubConfig
+{
+    /** Pace: one patrol step (read or yield) per interval of simulated
+     *  time. */
+    std::uint64_t intervalUs = 100;
+
+    /** Refresh when the ECC margin (correctable bits minus the worst
+     *  codeword's raw errors) drops to this or below. */
+    std::uint32_t refreshMarginBits = 2;
+
+    /** Refresh pages of a block once its host-read count since erase
+     *  exceeds this (the FTL-level read-disturb trip). */
+    std::uint64_t disturbThreshold = 50000;
+
+    /** Consecutive yields to host traffic before a patrol read is
+     *  forced through anyway (starvation bound). */
+    std::uint32_t maxYields = 16;
+
+    /** ECC correction capability per codeword (margin baseline). */
+    std::uint32_t eccCorrectBits = core::EccParams{}.correctBits;
+
+    /** FTL reliability scratch slot staging the patrol reads. */
+    std::uint32_t scratchSlot = 1;
+};
+
+class PatrolScrubber : public SimObject
+{
+  public:
+    PatrolScrubber(EventQueue &eq, const std::string &name,
+                   ftl::PageFtl &ftl, ScrubConfig cfg = {});
+
+    /** Begin patrolling (idempotent). */
+    void start();
+
+    /** Stop after the in-flight step completes. */
+    void stop() { running_ = false; }
+
+    const ScrubConfig &config() const { return cfg_; }
+
+    // --- Stats ---
+    std::uint64_t patrolReads() const { return patrolReads_; }
+    std::uint64_t patrolFailures() const { return patrolFailures_; }
+    std::uint64_t nearMisses() const { return nearMisses_; }
+    std::uint64_t disturbTrips() const { return disturbTrips_; }
+    std::uint64_t refreshes() const { return refreshes_; }
+    std::uint64_t yields() const { return yields_; }
+    std::uint64_t forcedSlots() const { return forcedSlots_; }
+    std::uint64_t sweeps() const { return sweeps_; }
+
+  private:
+    void armTick();
+    void tick();
+    bool advanceCursor();
+
+    ftl::PageFtl &ftl_;
+    ScrubConfig cfg_;
+    bool running_ = false;
+    bool armed_ = false;
+
+    // Patrol cursor.
+    std::uint32_t curChip_ = 0;
+    std::uint32_t curBlock_ = 0;
+    std::uint32_t curPage_ = 0;
+
+    std::uint32_t consecYields_ = 0;
+
+    std::uint64_t patrolReads_ = 0;
+    std::uint64_t patrolFailures_ = 0;
+    std::uint64_t nearMisses_ = 0;
+    std::uint64_t disturbTrips_ = 0;
+    std::uint64_t refreshes_ = 0;
+    std::uint64_t yields_ = 0;
+    std::uint64_t forcedSlots_ = 0;
+    std::uint64_t sweeps_ = 0;
+
+    std::uint32_t obsTrack_ = 0;
+    std::uint32_t lblPatrol_ = 0;
+    std::uint32_t lblRefresh_ = 0;
+
+    /** Last member: deregisters before the stats it references die. */
+    obs::MetricsGroup metrics_;
+};
+
+} // namespace babol::reliability
+
+#endif // BABOL_RELIABILITY_SCRUB_HH

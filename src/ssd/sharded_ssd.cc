@@ -35,6 +35,7 @@ ShardedSsd::ShardedSsd(const std::string &name, SsdConfig cfg)
         std::string cname = strfmt("%s.ch%u.ctrl", name.c_str(), ch);
         core::SoftControllerConfig soft;
         soft.cpuMhz = cfg_.cpuMhz;
+        soft.maxReadRetries = cfg_.maxReadRetries;
         if (cfg_.flavor == "coro") {
             controllers_.push_back(std::make_unique<core::CoroController>(
                 ceq, cname, sys, soft));
@@ -42,11 +43,15 @@ ShardedSsd::ShardedSsd(const std::string &name, SsdConfig cfg)
             controllers_.push_back(std::make_unique<core::RtosController>(
                 ceq, cname, sys, soft));
         } else if (cfg_.flavor == "hw-sync") {
-            controllers_.push_back(std::make_unique<core::HwController>(
-                ceq, cname, sys, true));
+            auto hw = std::make_unique<core::HwController>(ceq, cname, sys,
+                                                           true);
+            hw->setMaxReadRetries(cfg_.maxReadRetries);
+            controllers_.push_back(std::move(hw));
         } else if (cfg_.flavor == "hw-async" || cfg_.flavor == "hw") {
-            controllers_.push_back(std::make_unique<core::HwController>(
-                ceq, cname, sys, false));
+            auto hw = std::make_unique<core::HwController>(ceq, cname, sys,
+                                                           false);
+            hw->setMaxReadRetries(cfg_.maxReadRetries);
+            controllers_.push_back(std::move(hw));
         } else {
             fatal("unknown controller flavor '%s'", cfg_.flavor.c_str());
         }

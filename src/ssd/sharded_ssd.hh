@@ -93,6 +93,12 @@ class ShardedSsd : public core::FlashBackend
     }
     dram::DramBuffer &backendDram() override { return *dram_; }
     fault::FaultEngine &backendFaults() override { return *faults_; }
+    std::string backendChipName(std::uint32_t chip) const override
+    {
+        const std::uint32_t ways = cfg_.channel.chips;
+        return strfmt("%s.ch%u.pkg%u", name_.c_str(), chip / ways,
+                      chip % ways);
+    }
 
     // --- Aggregated stats (read after run() returns) ---
     std::uint64_t opsCompleted() const;

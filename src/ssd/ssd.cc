@@ -34,6 +34,7 @@ Ssd::Ssd(EventQueue &eq, const std::string &name, SsdConfig cfg)
         std::string cname = strfmt("%s.ch%u.ctrl", name.c_str(), ch);
         core::SoftControllerConfig soft;
         soft.cpuMhz = cfg_.cpuMhz;
+        soft.maxReadRetries = cfg_.maxReadRetries;
         if (cfg_.flavor == "coro") {
             controllers_.push_back(std::make_unique<core::CoroController>(
                 eq, cname, sys, soft));
@@ -41,11 +42,15 @@ Ssd::Ssd(EventQueue &eq, const std::string &name, SsdConfig cfg)
             controllers_.push_back(std::make_unique<core::RtosController>(
                 eq, cname, sys, soft));
         } else if (cfg_.flavor == "hw-sync") {
-            controllers_.push_back(std::make_unique<core::HwController>(
-                eq, cname, sys, true));
+            auto hw = std::make_unique<core::HwController>(eq, cname, sys,
+                                                           true);
+            hw->setMaxReadRetries(cfg_.maxReadRetries);
+            controllers_.push_back(std::move(hw));
         } else if (cfg_.flavor == "hw-async" || cfg_.flavor == "hw") {
-            controllers_.push_back(std::make_unique<core::HwController>(
-                eq, cname, sys, false));
+            auto hw = std::make_unique<core::HwController>(eq, cname, sys,
+                                                           false);
+            hw->setMaxReadRetries(cfg_.maxReadRetries);
+            controllers_.push_back(std::move(hw));
         } else {
             fatal("unknown controller flavor '%s'", cfg_.flavor.c_str());
         }

@@ -31,6 +31,9 @@ struct SsdConfig
     /** Embedded CPU frequency for the software flavours. */
     std::uint32_t cpuMhz = 1000;
 
+    /** Read-retry budget per flash read (recovery escalation). */
+    std::uint32_t maxReadRetries = 0;
+
     /** Shared staging DRAM for the whole device. */
     std::uint64_t dramBytes = 256ull * 1024 * 1024;
 };
@@ -73,6 +76,12 @@ class Ssd : public SimObject, public core::FlashBackend
     }
     dram::DramBuffer &backendDram() override { return *dram_; }
     fault::FaultEngine &backendFaults() override { return faults(); }
+    std::string backendChipName(std::uint32_t chip) const override
+    {
+        const std::uint32_t ways = cfg_.channel.chips;
+        return strfmt("%s.ch%u.pkg%u", name().c_str(), chip / ways,
+                      chip % ways);
+    }
 
     // --- Aggregated stats ---
     std::uint64_t opsCompleted() const;
